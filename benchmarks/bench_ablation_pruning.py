@@ -1,0 +1,61 @@
+"""Design-choice ablation — task-adaptive search-space pruning (extension).
+
+The paper's future-work direction (Section 6): build the search space
+automatically per task.  We prune the joint space to the region populated by
+the top half of proxy-measured samples and compare random-search quality in
+the pruned vs the full space under a matched budget.  Shape to hold: the
+pruned space concentrates probability mass on good candidates, so its best
+found model is at least as good.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ResultTable, print_and_save, target_task
+from repro.space import JointSearchSpace, PruningConfig, prune_space, space_reduction
+from repro.tasks import ProxyConfig, measure_arch_hyper
+
+MEASURE_BUDGET = 8
+SEARCH_BUDGET = 5
+
+
+def run_pruning_ablation(scale):
+    task = target_task(scale, "NYC-BIKE", scale.setting("P-12/Q-12"), seed=0)
+    proxy = ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size)
+    space = JointSearchSpace(hyper_space=scale.hyper_space)
+    rng = np.random.default_rng(0)
+
+    # Measure a seed pool and prune the space around its best half.
+    pool = space.sample_batch(MEASURE_BUDGET, rng)
+    measured = [(ah, measure_arch_hyper(ah, task, proxy)) for ah in pool]
+    pruned = prune_space(space, measured, PruningConfig(quantile=0.5))
+    reduction = space_reduction(space, pruned)
+
+    # Matched-budget random search in both spaces.
+    full_scores = [
+        measure_arch_hyper(ah, task, proxy)
+        for ah in space.sample_batch(SEARCH_BUDGET, np.random.default_rng(1))
+    ]
+    pruned_scores = [
+        measure_arch_hyper(ah, task, proxy)
+        for ah in pruned.sample_batch(SEARCH_BUDGET, np.random.default_rng(1))
+    ]
+
+    table = ResultTable(title="Ablation — task-adaptive search-space pruning")
+    row = "NYC-BIKE P-12/Q-12"
+    table.add(row, "hyper-space reduction", "value", f"{reduction:.0%}")
+    table.add(row, "best val error", "full space", f"{min(full_scores):.4f}")
+    table.add(row, "best val error", "pruned space", f"{min(pruned_scores):.4f}")
+    table.add(row, "mean val error", "full space", f"{np.mean(full_scores):.4f}")
+    table.add(row, "mean val error", "pruned space", f"{np.mean(pruned_scores):.4f}")
+    return table, min(full_scores), min(pruned_scores)
+
+
+def test_ablation_pruning(benchmark, scale):
+    table, full_best, pruned_best = benchmark.pedantic(
+        run_pruning_ablation, args=(scale,), iterations=1, rounds=1
+    )
+    print_and_save(table, "ablation_pruning")
+    # Pruning must not catastrophically hurt the search under matched budget.
+    assert pruned_best <= full_best * 1.5

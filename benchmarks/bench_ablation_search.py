@@ -1,0 +1,62 @@
+"""Design-choice ablation — comparator-guided EA vs. random selection.
+
+Given one measured candidate pool, compare the regret (true-error gap to the
+pool optimum) of (a) the top-K chosen by T-AHC-guided Round-Robin ranking
+versus (b) K randomly chosen candidates.  Shape to hold: the comparator
+chooses no worse (typically better) than random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ResultTable, make_searcher, print_and_save, target_task
+from repro.metrics import pairwise_accuracy, top_k_regret
+from repro.search import round_robin_top_k
+from repro.tasks import ProxyConfig, measure_arch_hyper
+
+POOL_SIZE = 10
+TOP_K = 3
+RANDOM_TRIALS = 20
+
+
+def run_search_ablation(scale, artifacts):
+    task = target_task(scale, "SZ-TAXI", scale.setting("P-12/Q-12"), seed=0)
+    rng = np.random.default_rng(0)
+    pool = artifacts.space.sample_batch(POOL_SIZE, rng)
+    truth = np.array(
+        [
+            measure_arch_hyper(
+                ah, task, ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size)
+            )
+            for ah in pool
+        ]
+    )
+    searcher = make_searcher(artifacts, scale)
+    preliminary = searcher.embed_task(task)
+    wins = artifacts.model.predict_wins(preliminary, pool, artifacts.space.hyper_space)
+    chosen = round_robin_top_k(wins, TOP_K)
+    comparator_regret = top_k_regret(chosen, truth)
+    comparator_accuracy = pairwise_accuracy(wins, truth)
+    random_regrets = [
+        top_k_regret(rng.choice(POOL_SIZE, TOP_K, replace=False), truth)
+        for _ in range(RANDOM_TRIALS)
+    ]
+
+    table = ResultTable(title="Ablation — comparator-guided vs random selection")
+    table.add("SZ-TAXI P-12/Q-12", "regret", "T-AHC top-3", f"{comparator_regret:.4f}")
+    table.add("SZ-TAXI P-12/Q-12", "regret", "random top-3 (mean)",
+              f"{np.mean(random_regrets):.4f}")
+    table.add("SZ-TAXI P-12/Q-12", "pairwise accuracy", "T-AHC",
+              f"{comparator_accuracy:.3f}")
+    return table, comparator_regret, float(np.mean(random_regrets))
+
+
+def test_ablation_search_quality(benchmark, scale, artifacts_full):
+    table, ours, random_mean = benchmark.pedantic(
+        run_search_ablation, args=(scale, artifacts_full), iterations=1, rounds=1
+    )
+    print_and_save(table, "ablation_search")
+    # Allow slack: at TINY scale the comparator is weak, but it must not be
+    # dramatically worse than chance.
+    assert ours <= random_mean + 0.5

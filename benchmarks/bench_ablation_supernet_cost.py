@@ -1,0 +1,59 @@
+"""Design-choice ablation — per-task supernet search vs zero-shot ranking.
+
+The paper's efficiency motivation (Section 1/2.3): supernet-based frameworks
+(AutoCTS/AutoSTG) re-run an expensive search *from scratch for every new
+task*, while AutoCTS++ amortizes one pre-training and answers new tasks in
+minutes.  This benchmark times both on the same unseen task.  Shape to hold:
+the zero-shot search phase (embed + rank) is much cheaper than a supernet
+search, and the gap is what multiplies across many tasks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ResultTable, make_searcher, print_and_save, target_task
+from repro.supernet import SupernetConfig, supernet_search
+
+DATASET = "PEMSD7M"
+SETTING = "P-12/Q-12"
+
+
+def run_supernet_cost(scale, artifacts):
+    setting = scale.setting(SETTING)
+    task = target_task(scale, DATASET, setting, seed=0)
+
+    start = time.perf_counter()
+    supernet_result = supernet_search(
+        task,
+        SupernetConfig(
+            num_nodes=min(scale.hyper_space.num_nodes),
+            hidden_dim=min(scale.hyper_space.hidden_dims),
+            epochs=scale.final_train_epochs + 2,
+            batch_size=scale.batch_size,
+        ),
+    )
+    supernet_seconds = time.perf_counter() - start
+
+    searcher = make_searcher(artifacts, scale, seed=0)
+    start = time.perf_counter()
+    preliminary = searcher.embed_task(task)
+    top, _ = searcher.rank(preliminary)
+    zero_shot_seconds = time.perf_counter() - start
+
+    table = ResultTable(title="Ablation — per-task supernet search vs zero-shot ranking")
+    row = f"{DATASET} {SETTING}"
+    table.add(row, "search seconds", "supernet (per task)", f"{supernet_seconds:.1f}")
+    table.add(row, "search seconds", "zero-shot (per task)", f"{zero_shot_seconds:.1f}")
+    table.add(row, "search seconds", "speedup", f"{supernet_seconds / max(zero_shot_seconds, 1e-9):.1f}x")
+    table.add(row, "derived arch", "supernet", str(supernet_result.architecture))
+    table.add(row, "derived arch", "zero-shot best", str(top[0].arch))
+    return table, supernet_seconds, zero_shot_seconds
+
+
+def test_ablation_supernet_cost(benchmark, scale, artifacts_full):
+    table, supernet_s, zero_shot_s = benchmark.pedantic(
+        run_supernet_cost, args=(scale, artifacts_full), iterations=1, rounds=1
+    )
+    print_and_save(table, "ablation_supernet_cost")
+    assert zero_shot_s < supernet_s  # the paper's efficiency claim

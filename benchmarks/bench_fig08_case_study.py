@@ -1,0 +1,83 @@
+"""Figures 8–9 — case study of searched ST-blocks.
+
+The paper prints the optimal arch-hypers found per (dataset, setting) and
+observes that (i) the same dataset yields different arch-hypers across
+settings, and (ii) datasets from similar domains / of similar scale yield
+similar arch-hypers.  We print each searched ST-block and quantify
+similarity as Jaccard overlap of (source, target, operator) edges plus
+hyperparameter agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ResultTable, make_searcher, print_and_save, target_task
+
+CASES = (
+    ("PEMS-BAY", "P-12/Q-12"),
+    ("PEMS-BAY", "P-24/Q-24"),
+    ("PEMS-BAY", "P-48/Q-48"),
+    ("PEMS-BAY", "P-168/Q-1 (3rd)"),
+    ("PEMSD7M", "P-12/Q-12"),
+    ("Electricity", "P-12/Q-12"),
+    ("NYC-TAXI", "P-12/Q-12"),
+    ("NYC-BIKE", "P-12/Q-12"),
+    ("Los-Loop", "P-12/Q-12"),
+    ("SZ-TAXI", "P-12/Q-12"),
+)
+
+
+def _edge_set(arch_hyper):
+    return {(e.source, e.target, e.op) for e in arch_hyper.arch.edges}
+
+
+def arch_similarity(a, b) -> float:
+    """Jaccard overlap of labelled edges between two searched ST-blocks."""
+    ea, eb = _edge_set(a), _edge_set(b)
+    union = ea | eb
+    return len(ea & eb) / len(union) if union else 1.0
+
+
+def run_fig8(scale, artifacts):
+    searched = {}
+    table = ResultTable(title="Figures 8-9 — searched ST-blocks per task")
+    for case_index, (dataset, setting_label) in enumerate(CASES):
+        setting = scale.setting(setting_label)
+        task = target_task(scale, dataset, setting, seed=0)
+        # Each task gets its own search run (fresh candidate sample), as a
+        # practitioner would; the comparator then ranks task-dependently.
+        searcher = make_searcher(artifacts, scale, seed=100 + case_index)
+        preliminary = searcher.embed_task(task)
+        top, _ = searcher.rank(preliminary)
+        best = top[0]
+        searched[(dataset, setting_label)] = best
+        table.add(f"{dataset} {setting_label}", "Hyper", "value", str(best.hyper))
+        edges = ", ".join(f"{e.source}-[{e.op}]->{e.target}" for e in best.arch.edges)
+        table.add(f"{dataset} {setting_label}", "Arch", "value", edges)
+
+    same_domain = arch_similarity(
+        searched[("PEMS-BAY", "P-12/Q-12")], searched[("PEMSD7M", "P-12/Q-12")]
+    )
+    cross_domain = arch_similarity(
+        searched[("PEMS-BAY", "P-12/Q-12")], searched[("Electricity", "P-12/Q-12")]
+    )
+    same_scale = arch_similarity(
+        searched[("NYC-TAXI", "P-12/Q-12")], searched[("NYC-BIKE", "P-12/Q-12")]
+    )
+    table.add("similarity", "Jaccard", "PEMS-BAY vs PEMSD7M (same domain)", f"{same_domain:.2f}")
+    table.add("similarity", "Jaccard", "PEMS-BAY vs Electricity (cross domain)", f"{cross_domain:.2f}")
+    table.add("similarity", "Jaccard", "NYC-TAXI vs NYC-BIKE (same scale)", f"{same_scale:.2f}")
+    settings_distinct = len(
+        {searched[("PEMS-BAY", label)].key() for _, label in CASES[:4]}
+    )
+    table.add("similarity", "count", "distinct PEMS-BAY arch-hypers over settings",
+              str(settings_distinct))
+    return table
+
+
+def test_fig08_case_study(benchmark, scale, artifacts_full):
+    table = benchmark.pedantic(
+        run_fig8, args=(scale, artifacts_full), iterations=1, rounds=1
+    )
+    print_and_save(table, "fig08_case_study")

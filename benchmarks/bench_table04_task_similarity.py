@@ -1,0 +1,70 @@
+"""Table 4 — quantitative analysis of task similarities.
+
+The paper trains the same 200 arch-hypers on three tasks — (a) a PEMS08
+subset at P-12/Q-12, (b) a METR-LA subset at P-12/Q-12, (c) a Solar-Energy
+subset at P-48/Q-48 — and reports, for each task pair, the MAE between the
+arch-hypers' normalized accuracies and Spearman's rank correlation.  The
+shape to reproduce: the two traffic tasks (a, b) are far more similar (low
+MAE, high Spearman) than either is to the solar long-horizon task (c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import get_dataset
+from repro.experiments import ResultTable, print_and_save
+from repro.space import JointSearchSpace
+from repro.tasks import ProxyConfig, Task, derive_subset, measure_arch_hyper
+from repro.metrics import spearman
+
+N_ARCH_HYPERS = 10  # paper: 200
+
+
+def _tasks(scale):
+    rng = np.random.default_rng(0)
+    pems = derive_subset(get_dataset("PEMS08", seed=0), rng)
+    metr = derive_subset(get_dataset("METR-LA", seed=0), rng)
+    solar = derive_subset(get_dataset("Solar-Energy", seed=0), rng)
+    short = scale.pretrain_settings[0]
+    long = scale.pretrain_settings[-1]
+    return {
+        "a (PEMS08, short)": Task(pems, *short, max_train_windows=scale.max_train_windows),
+        "b (METR-LA, short)": Task(metr, *short, max_train_windows=scale.max_train_windows),
+        "c (Solar, long)": Task(solar, *long, max_train_windows=scale.max_train_windows),
+    }
+
+
+def _normalized_accuracy(errors: np.ndarray) -> np.ndarray:
+    """Map errors to [0, 1] accuracies (higher better), the paper's metric."""
+    lo, hi = errors.min(), errors.max()
+    span = hi - lo if hi > lo else 1.0
+    return 1.0 - (errors - lo) / span
+
+
+def run_table4(scale) -> ResultTable:
+    space = JointSearchSpace(hyper_space=scale.hyper_space)
+    shared = space.sample_batch(N_ARCH_HYPERS, np.random.default_rng(1))
+    proxy = ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size)
+    tasks = _tasks(scale)
+    accuracy = {
+        name: _normalized_accuracy(
+            np.array([measure_arch_hyper(ah, task, proxy) for ah in shared])
+        )
+        for name, task in tasks.items()
+    }
+    table = ResultTable(title="Table 4 — quantitative analysis of task similarities")
+    names = list(tasks)
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            pair = f"{names[i][:1]} and {names[j][:1]}"
+            mae = float(np.abs(accuracy[names[i]] - accuracy[names[j]]).mean())
+            rho = spearman(accuracy[names[i]], accuracy[names[j]])
+            table.add(pair, "MAE", "value", f"{mae:.4f}")
+            table.add(pair, "Spear", "value", f"{rho:.4f}")
+    return table
+
+
+def test_table04_task_similarity(benchmark, scale):
+    table = benchmark.pedantic(run_table4, args=(scale,), iterations=1, rounds=1)
+    print_and_save(table, "table04_task_similarity")

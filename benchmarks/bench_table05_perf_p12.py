@@ -1,0 +1,21 @@
+"""Table 5 — performance of P-12/Q-12 multi-step forecasting.
+
+AutoCTS++ vs. three automated-transfer baselines (AutoSTG+, AutoCTS,
+AutoCTS+) and five manual designs (MTGNN, AGCRN, PDFormer, Autoformer,
+FEDformer) on the seven unseen target datasets.  Shape to hold: AutoCTS++
+takes most best-cells.
+"""
+
+from perf_common import run_performance_table
+
+from repro.experiments import print_and_save
+
+
+def test_table05_perf_p12(benchmark, scale, artifacts_full):
+    table = benchmark.pedantic(
+        run_performance_table,
+        args=(scale, artifacts_full, "P-12/Q-12", "Table 5 — P-12/Q-12 forecasting"),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table05_perf_p12")

@@ -1,0 +1,20 @@
+"""Table 6 — performance of P-24/Q-24 multi-step forecasting.
+
+This setting was *not* used when pre-training T-AHC, so winning here
+evidences generalization of the zero-shot ranking to unseen forecasting
+settings, not just unseen datasets.
+"""
+
+from perf_common import run_performance_table
+
+from repro.experiments import print_and_save
+
+
+def test_table06_perf_p24(benchmark, scale, artifacts_full):
+    table = benchmark.pedantic(
+        run_performance_table,
+        args=(scale, artifacts_full, "P-24/Q-24", "Table 6 — P-24/Q-24 forecasting"),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table06_perf_p24")

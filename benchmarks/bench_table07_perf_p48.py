@@ -1,0 +1,15 @@
+"""Table 7 — performance of P-48/Q-48 (long-horizon) multi-step forecasting."""
+
+from perf_common import run_performance_table
+
+from repro.experiments import print_and_save
+
+
+def test_table07_perf_p48(benchmark, scale, artifacts_full):
+    table = benchmark.pedantic(
+        run_performance_table,
+        args=(scale, artifacts_full, "P-48/Q-48", "Table 7 — P-48/Q-48 forecasting"),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table07_perf_p48")

@@ -1,0 +1,24 @@
+"""Table 8 — performance of P-168/Q-1 (3rd) single-step forecasting.
+
+Single-step forecasting is scored with RRSE (lower better) and CORR (higher
+better); the setting is unseen at pre-training time.
+"""
+
+from perf_common import run_performance_table
+
+from repro.experiments import print_and_save
+
+
+def test_table08_perf_single_step(benchmark, scale, artifacts_full):
+    table = benchmark.pedantic(
+        run_performance_table,
+        args=(
+            scale,
+            artifacts_full,
+            "P-168/Q-1 (3rd)",
+            "Table 8 — P-168/Q-1 (3rd) single-step forecasting",
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table08_perf_single_step")

@@ -1,0 +1,15 @@
+"""Table 9 — ablation study, P-12/Q-12 forecasting."""
+
+from ablation_common import run_ablation_table
+
+from repro.experiments import print_and_save
+
+
+def test_table09_ablation_p12(benchmark, scale, artifacts_by_variant):
+    table = benchmark.pedantic(
+        run_ablation_table,
+        args=(scale, artifacts_by_variant, "P-12/Q-12", "Table 9 — ablation, P-12/Q-12"),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table09_ablation_p12")

@@ -1,0 +1,15 @@
+"""Table 10 — ablation study, P-24/Q-24 forecasting."""
+
+from ablation_common import run_ablation_table
+
+from repro.experiments import print_and_save
+
+
+def test_table10_ablation_p24(benchmark, scale, artifacts_by_variant):
+    table = benchmark.pedantic(
+        run_ablation_table,
+        args=(scale, artifacts_by_variant, "P-24/Q-24", "Table 10 — ablation, P-24/Q-24"),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table10_ablation_p24")

@@ -1,0 +1,15 @@
+"""Table 11 — ablation study, P-48/Q-48 forecasting."""
+
+from ablation_common import run_ablation_table
+
+from repro.experiments import print_and_save
+
+
+def test_table11_ablation_p48(benchmark, scale, artifacts_by_variant):
+    table = benchmark.pedantic(
+        run_ablation_table,
+        args=(scale, artifacts_by_variant, "P-48/Q-48", "Table 11 — ablation, P-48/Q-48"),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table11_ablation_p48")

@@ -1,0 +1,20 @@
+"""Table 12 — ablation study, P-168/Q-1 (3rd) single-step forecasting."""
+
+from ablation_common import run_ablation_table
+
+from repro.experiments import print_and_save
+
+
+def test_table12_ablation_single_step(benchmark, scale, artifacts_by_variant):
+    table = benchmark.pedantic(
+        run_ablation_table,
+        args=(
+            scale,
+            artifacts_by_variant,
+            "P-168/Q-1 (3rd)",
+            "Table 12 — ablation, P-168/Q-1 (3rd)",
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print_and_save(table, "table12_ablation_single_step")

@@ -1,0 +1,64 @@
+"""Table 13 — sample-limited performance study (P-24/Q-24).
+
+The paper sweeps the number K_s of arch-hypers sampled for ranking
+(600k … 37.5k) and reports accuracy plus search time, with AutoCTS+ and
+PDFormer as baselines whose TIME rows are their grid-search cost.  Shapes to
+hold: accuracy degrades gracefully as K_s shrinks; search time scales with
+K_s; even moderate K_s beats the baselines while being much cheaper.
+
+Our K_s values are the paper's divided by the same constant used everywhere
+else at the TINY scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (
+    ResultTable,
+    aggregate_runs,
+    print_and_save,
+    run_baseline,
+    run_zero_shot,
+    target_task,
+)
+
+# Paper: 600k, 300k, 150k, 75k, 37.5k.  Scaled by the TINY divisor.
+KS_SWEEP = (96, 48, 24, 12, 6)
+KS_LABELS = {96: "Ks=600k", 48: "Ks=300k", 24: "Ks=150k", 12: "Ks=75k", 6: "Ks=37.5k"}
+SETTING = "P-24/Q-24"
+
+
+def run_table13(scale, artifacts) -> ResultTable:
+    table = ResultTable(title="Table 13 — sample-limited study, P-24/Q-24")
+    setting = scale.setting(SETTING)
+    for dataset in scale.target_datasets:
+        metrics = ("MAE", "RMSE") if dataset == "SZ-TAXI" else ("MAE", "RMSE", "MAPE")
+        task = target_task(scale, dataset, setting, seed=0)
+        for ks in KS_SWEEP:
+            start = time.perf_counter()
+            result = run_zero_shot(
+                artifacts, task, scale, seed=0, initial_samples=ks, top_k=1
+            )
+            elapsed = time.perf_counter() - start
+            column = KS_LABELS[ks]
+            for metric in metrics:
+                table.add(dataset, metric, column, aggregate_runs([result.best_scores], metric))
+            table.add(dataset, "TIME(s)", column, f"{result.timings.search:.1f}")
+        # Baselines: AutoCTS+ transfer model and PDFormer, timed end to end
+        # (their TIME is hyperparameter grid-search / training cost).
+        for name in ("AutoCTS+", "PDFormer"):
+            start = time.perf_counter()
+            scores = run_baseline(name, task, scale, seed=0)
+            elapsed = time.perf_counter() - start
+            for metric in metrics:
+                table.add(dataset, metric, name, aggregate_runs([scores], metric))
+            table.add(dataset, "TIME(s)", name, f"{elapsed:.1f}")
+    return table
+
+
+def test_table13_sample_limited(benchmark, scale, artifacts_full):
+    table = benchmark.pedantic(
+        run_table13, args=(scale, artifacts_full), iterations=1, rounds=1
+    )
+    print_and_save(table, "table13_sample_limited")

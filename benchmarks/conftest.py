@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's tables and figures at the ``TINY`` scale
+(see ``repro.experiments.config``): identical code paths to the paper's
+pipeline, scaled-down sizes.  The expensive T-AHC pre-training runs once per
+variant and is cached on disk under ``benchmarks/.cache``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import TINY, pretrain_variant
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def artifacts_full():
+    return pretrain_variant(TINY, "full", seed=0)
+
+
+@pytest.fixture(scope="session")
+def artifacts_by_variant():
+    return {
+        variant: pretrain_variant(TINY, variant, seed=0)
+        for variant in ("full", "wo_ts2vec", "wo_set_transformer", "wo_shared")
+    }

@@ -1,0 +1,62 @@
+"""Why *joint* search matters: architecture-only vs. joint random search.
+
+The paper's first motivation: the same architecture performs very differently
+under different hyperparameters, so searching architectures under one frozen
+hyperparameter setting (what AutoCTS/AutoSTG do) leaves accuracy on the
+table.  This example runs two random searches with an identical budget —
+one sweeping only architectures at fixed hyperparameters, one sweeping the
+joint space — and compares the best models found.
+
+Run:  python examples/joint_vs_arch_only.py      (~2 min on CPU)
+"""
+
+import numpy as np
+
+from repro.experiments import TINY, target_task
+from repro.space import ArchHyper, HyperParameters, JointSearchSpace, sample_architecture
+from repro.tasks import ProxyConfig, measure_arch_hyper
+
+BUDGET = 8  # proxy-measured candidates per strategy
+
+
+def main() -> None:
+    scale = TINY
+    task = target_task(scale, "NYC-TAXI", scale.setting("P-12/Q-12"), seed=0)
+    proxy = ProxyConfig(epochs=2, batch_size=scale.batch_size)
+    rng = np.random.default_rng(0)
+    space = JointSearchSpace(hyper_space=scale.hyper_space)
+
+    # Strategy A: architecture-only search under one frozen hyper setting.
+    frozen = HyperParameters(
+        num_blocks=1, num_nodes=3,
+        hidden_dim=scale.hyper_space.hidden_dims[0],
+        output_dim=scale.hyper_space.output_dims[0],
+        output_mode=0, dropout=0,
+    )
+    arch_only = []
+    while len(arch_only) < BUDGET:
+        arch = sample_architecture(frozen.num_nodes, rng)
+        candidate = ArchHyper(arch, frozen)
+        if candidate.is_searchable():
+            arch_only.append(candidate)
+
+    # Strategy B: joint search over architectures AND hyperparameters.
+    joint = space.sample_batch(BUDGET, rng)
+
+    print(f"task: {task.name}; budget {BUDGET} proxy evaluations per strategy\n")
+    scores_a = [measure_arch_hyper(ah, task, proxy) for ah in arch_only]
+    scores_b = [measure_arch_hyper(ah, task, proxy) for ah in joint]
+
+    best_a, best_b = min(scores_a), min(scores_b)
+    print(f"architecture-only search: best val error {best_a:.4f}")
+    print(f"joint search:             best val error {best_b:.4f}")
+    winner = "joint" if best_b <= best_a else "architecture-only"
+    print(f"-> {winner} search wins on this task")
+    print(
+        "\n(The joint space contains the arch-only space as a slice, so with"
+        "\n matched budgets joint search wins in expectation — Section 1.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Summarize benchmark result tables: win counts per model per table.
+
+Reads the paper-style tables under ``benchmarks/results/`` and prints, for
+each performance/ablation table, how many rows each column wins (lower is
+better for all metrics except CORR).  Used to fill EXPERIMENTS.md after a
+benchmark run.
+
+Run:  python scripts/summarize_results.py [results_dir]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+HIGHER_BETTER = {"CORR"}
+
+
+def parse_table(path: Path) -> tuple[list[str], list[tuple[str, str, list[str]]]]:
+    """Return (columns, rows) of a rendered ResultTable file."""
+    lines = path.read_text().splitlines()
+    header_index = next(
+        (i for i, line in enumerate(lines) if line.startswith("Dataset")), None
+    )
+    if header_index is None:
+        return [], []
+    header = re.split(r"\s{2,}", lines[header_index].strip())
+    columns = header[2:]
+    rows = []
+    for line in lines[header_index + 2 :]:
+        if not line.strip():
+            continue
+        cells = re.split(r"\s{2,}", line.strip())
+        if len(cells) < 3:
+            continue
+        rows.append((cells[0], cells[1], cells[2:]))
+    return columns, rows
+
+
+def win_counts(path: Path) -> dict[str, int]:
+    columns, rows = parse_table(path)
+    counts = {column: 0 for column in columns}
+    for _, metric, cells in rows:
+        numeric: dict[str, float] = {}
+        for column, cell in zip(columns, cells):
+            text = cell.strip("*").split("±")[0].rstrip("%")
+            try:
+                numeric[column] = float(text)
+            except ValueError:
+                continue
+        if len(numeric) < 2:
+            continue
+        pick = max if metric in HIGHER_BETTER else min
+        counts[pick(numeric, key=numeric.get)] += 1
+    return counts
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    results_dir = Path(argv[0]) if argv else DEFAULT_DIR
+    if not results_dir.exists():
+        print(f"no results directory at {results_dir}", file=sys.stderr)
+        return 1
+    for path in sorted(results_dir.glob("table*.txt")):
+        counts = win_counts(path)
+        if not counts:
+            continue
+        total = sum(counts.values())
+        ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+        summary = ", ".join(f"{name}={count}" for name, count in ranked if count)
+        print(f"{path.stem}: {total} rows; wins: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""repro — reproduction of AutoCTS+ / AutoCTS++.
+
+Joint neural architecture and hyperparameter search for correlated time
+series (CTS) forecasting, including the zero-shot task-aware comparator of
+the journal extension.  Everything — the autodiff engine, the neural layers,
+the candidate S/T operators, the comparators, the search strategies, the
+baselines, and the synthetic benchmark datasets — is implemented from scratch
+on top of numpy.
+
+Typical entry points:
+
+>>> from repro.data import get_dataset
+>>> from repro.tasks import Task
+>>> from repro.search import ZeroShotSearch
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"

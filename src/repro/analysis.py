@@ -1,0 +1,114 @@
+"""Analysis utilities for searched arch-hypers and task relationships.
+
+These back the paper's case study (Figures 8–9): which operators dominate
+the searched ST-blocks per task, how similar the searched models of two
+tasks are, and how hyperparameter choices distribute across tasks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .space.arch import CANDIDATE_OPERATORS, S_OPERATORS, T_OPERATORS
+from .space.archhyper import ArchHyper
+
+
+def operator_frequencies(arch_hypers: list[ArchHyper]) -> dict[str, float]:
+    """Fraction of edges using each operator across the given arch-hypers."""
+    counts: Counter[str] = Counter()
+    total = 0
+    for ah in arch_hypers:
+        for edge in ah.arch.edges:
+            counts[edge.op] += 1
+            total += 1
+    if total == 0:
+        return {op: 0.0 for op in CANDIDATE_OPERATORS}
+    return {op: counts.get(op, 0) / total for op in sorted(set(counts) | set(CANDIDATE_OPERATORS))}
+
+
+def spatial_temporal_ratio(arch_hyper: ArchHyper) -> float:
+    """(#S-operators) / (#S + #T operators); 0.5 means balanced.
+
+    The paper observes that small-N datasets (ExchangeRate, ETT) favour
+    temporal operators — i.e. a low ratio.
+    """
+    counts = arch_hyper.arch.operator_counts()
+    spatial = sum(counts[op] for op in S_OPERATORS)
+    temporal = sum(counts[op] for op in T_OPERATORS)
+    total = spatial + temporal
+    return spatial / total if total else 0.0
+
+
+def edge_jaccard(a: ArchHyper, b: ArchHyper) -> float:
+    """Jaccard overlap of labelled (source, target, op) edges."""
+    ea = {(e.source, e.target, e.op) for e in a.arch.edges}
+    eb = {(e.source, e.target, e.op) for e in b.arch.edges}
+    union = ea | eb
+    return len(ea & eb) / len(union) if union else 1.0
+
+
+def hyper_distance(a: ArchHyper, b: ArchHyper, space=None) -> float:
+    """L1 distance between min-max-normalized hyperparameter vectors."""
+    from .space.hyperparams import HyperSpace
+
+    space = space or HyperSpace()
+    va = a.hyper.normalized_vector(space)
+    vb = b.hyper.normalized_vector(space)
+    return float(np.abs(va - vb).mean())
+
+
+def arch_hyper_similarity(a: ArchHyper, b: ArchHyper, space=None) -> float:
+    """Blended similarity in [0, 1]: edge overlap and hyperparameter closeness."""
+    return 0.5 * edge_jaccard(a, b) + 0.5 * (1.0 - hyper_distance(a, b, space))
+
+
+@dataclass(frozen=True)
+class SearchSummary:
+    """Aggregate statistics of a set of searched arch-hypers."""
+
+    count: int
+    operator_frequencies: dict[str, float]
+    mean_spatial_ratio: float
+    mean_edges: float
+    hyper_modes: dict[str, int]
+
+    @classmethod
+    def from_arch_hypers(cls, arch_hypers: list[ArchHyper]) -> "SearchSummary":
+        """Aggregate statistics over a list of searched arch-hypers."""
+        if not arch_hypers:
+            raise ValueError("need at least one arch-hyper to summarize")
+        hyper_values: dict[str, Counter] = {
+            key: Counter() for key in ("B", "C", "H", "I", "U", "delta")
+        }
+        for ah in arch_hypers:
+            for key, value in ah.hyper.to_dict().items():
+                hyper_values[key][value] += 1
+        return cls(
+            count=len(arch_hypers),
+            operator_frequencies=operator_frequencies(arch_hypers),
+            mean_spatial_ratio=float(
+                np.mean([spatial_temporal_ratio(ah) for ah in arch_hypers])
+            ),
+            mean_edges=float(np.mean([ah.arch.num_edges for ah in arch_hypers])),
+            hyper_modes={
+                key: counter.most_common(1)[0][0] for key, counter in hyper_values.items()
+            },
+        )
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"searched arch-hypers: {self.count}"]
+        lines.append(
+            "operator usage: "
+            + ", ".join(f"{op}={freq:.0%}" for op, freq in self.operator_frequencies.items())
+        )
+        lines.append(f"mean spatial/(S+T) ratio: {self.mean_spatial_ratio:.2f}")
+        lines.append(f"mean edges per block: {self.mean_edges:.1f}")
+        lines.append(
+            "modal hyperparameters: "
+            + ", ".join(f"{k}={v}" for k, v in self.hyper_modes.items())
+        )
+        return "\n".join(lines)

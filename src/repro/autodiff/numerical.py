@@ -1,0 +1,61 @@
+"""Numerical gradient checking for the autodiff engine.
+
+Used by the test-suite to verify every analytic backward pass against central
+finite differences computed in float64.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. input ``wrt``."""
+    base = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
+    grad = np.zeros_like(base[wrt])
+    flat = base[wrt].reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*[Tensor(x) for x in base]).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*[Tensor(x) for x in base]).data.sum())
+        flat[i] = original
+        gflat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    eps: float = 1e-5,
+) -> None:
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match finite differences.
+
+    Raises ``AssertionError`` with the offending input index on mismatch.
+    """
+    tensors = [Tensor(np.asarray(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    out.sum().backward()
+    for i, t in enumerate(tensors):
+        expected = numerical_gradient(fn, inputs, wrt=i, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        np.testing.assert_allclose(
+            actual,
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"analytic vs numerical gradient mismatch for input {i}",
+        )

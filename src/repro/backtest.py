@@ -1,0 +1,142 @@
+"""Rolling-origin backtesting for CTS forecasting models.
+
+Production forecasting systems evaluate models the way they are deployed:
+fit on data up to an origin, forecast the next horizon, roll the origin
+forward, repeat.  This module implements that protocol on top of the task
+pipeline — useful both for honest model assessment and for detecting
+concept drift (error trending upward across folds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.model import build_forecaster
+from .core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
+from .data.datasets import CTSData
+from .data.windows import WindowSet, make_windows
+from .metrics import ForecastScores
+from .space.archhyper import ArchHyper
+from .data.scalers import StandardScaler
+
+
+@dataclass(frozen=True)
+class BacktestConfig:
+    """Rolling-origin evaluation protocol.
+
+    ``n_folds`` origins are placed evenly over the back half of the series;
+    each fold trains on everything before its origin (optionally capped) and
+    scores the ``test_fraction`` slice that follows it.
+    """
+
+    n_folds: int = 3
+    min_train_fraction: float = 0.4
+    test_fraction: float = 0.1
+    retrain_per_fold: bool = True
+    train: TrainConfig = TrainConfig(epochs=3, batch_size=64)
+    max_train_windows: int | None = 256
+
+    def __post_init__(self) -> None:
+        if self.n_folds < 1:
+            raise ValueError("n_folds must be >= 1")
+        if not 0 < self.min_train_fraction < 1 or not 0 < self.test_fraction < 1:
+            raise ValueError("fractions must lie in (0, 1)")
+        if self.min_train_fraction + self.test_fraction >= 1:
+            raise ValueError("min_train_fraction + test_fraction must be < 1")
+
+
+@dataclass
+class BacktestResult:
+    """Per-fold scores plus the aggregate."""
+
+    fold_scores: list[ForecastScores]
+    fold_origins: list[int]
+
+    @property
+    def mean_mae(self) -> float:
+        return float(np.mean([s.mae for s in self.fold_scores]))
+
+    @property
+    def mae_trend(self) -> float:
+        """Slope of MAE across folds; positive suggests drift/degradation."""
+        if len(self.fold_scores) < 2:
+            return 0.0
+        maes = np.array([s.mae for s in self.fold_scores])
+        x = np.arange(len(maes), dtype=np.float64)
+        return float(np.polyfit(x, maes, 1)[0])
+
+
+def _cap(windows: WindowSet, cap: int | None) -> WindowSet:
+    if cap is None or len(windows) <= cap:
+        return windows
+    keep = np.unique(np.linspace(0, len(windows) - 1, cap).astype(int))
+    return WindowSet(windows.x[keep], windows.y[keep])
+
+
+def rolling_backtest(
+    arch_hyper: ArchHyper,
+    data: CTSData,
+    p: int,
+    q: int,
+    config: BacktestConfig = BacktestConfig(),
+    seed: int = 0,
+) -> BacktestResult:
+    """Evaluate ``arch_hyper`` on ``data`` with rolling-origin folds."""
+    total = data.n_steps
+    span = p + q
+    first_origin = int(total * config.min_train_fraction)
+    test_steps = max(int(total * config.test_fraction), span)
+    last_origin = total - test_steps
+    if last_origin <= first_origin:
+        raise ValueError(
+            f"dataset too short for backtest: T={total}, P+Q={span}, "
+            f"folds need origins in [{first_origin}, {last_origin}]"
+        )
+    origins = np.unique(
+        np.linspace(first_origin, last_origin, config.n_folds).astype(int)
+    )
+
+    fold_scores: list[ForecastScores] = []
+    model = None
+    for origin in origins:
+        scaler = StandardScaler().fit(data.values[:, :origin, :])
+        scaled = CTSData(
+            name=data.name,
+            values=scaler.transform(data.values),
+            adjacency=data.adjacency,
+            domain=data.domain,
+            steps_per_day=data.steps_per_day,
+        )
+        train_windows = _cap(
+            make_windows(scaled.slice_time(0, origin), p, q),
+            config.max_train_windows,
+        )
+        test_region = scaled.slice_time(
+            max(origin - p, 0), min(origin + test_steps, total)
+        )
+        test_windows = make_windows(test_region, p, q)
+        if model is None or config.retrain_per_fold:
+            # Early stopping validates on the chronological tail of the
+            # training region — the test slice is never touched in training.
+            val_start = max(int(len(train_windows) * 0.9), 1)
+            fit_windows = WindowSet(
+                train_windows.x[:val_start], train_windows.y[:val_start]
+            )
+            val_windows = WindowSet(
+                train_windows.x[val_start:], train_windows.y[val_start:]
+            )
+            if len(val_windows) == 0:
+                fit_windows, val_windows = train_windows, train_windows
+            model = build_forecaster(arch_hyper, data, horizon=q, seed=seed)
+            train_forecaster(model, fit_windows, val_windows, config.train)
+        fold_scores.append(
+            evaluate_forecaster(
+                model,
+                test_windows,
+                config.train.batch_size,
+                inverse=scaler.inverse_transform,
+            )
+        )
+    return BacktestResult(fold_scores=fold_scores, fold_origins=[int(o) for o in origins])

@@ -1,0 +1,26 @@
+"""Baseline forecasting models: five manual designs + three frozen
+automated-transfer models (paper Section 4.1.3)."""
+
+from .agcrn import AGCRN
+from .autoformer import Autoformer, series_decomposition
+from .base import BaselineForecaster
+from .fedformer import FEDformer
+from .fixed_archs import TRANSFER_BASELINES, fixed_arch_hyper
+from .mtgnn import MTGNN
+from .pdformer import PDFormer
+from .registry import ALL_BASELINES, MANUAL_BASELINES, build_baseline
+
+__all__ = [
+    "AGCRN",
+    "Autoformer",
+    "series_decomposition",
+    "BaselineForecaster",
+    "FEDformer",
+    "TRANSFER_BASELINES",
+    "fixed_arch_hyper",
+    "MTGNN",
+    "PDFormer",
+    "ALL_BASELINES",
+    "MANUAL_BASELINES",
+    "build_baseline",
+]

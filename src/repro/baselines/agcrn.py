@@ -1,0 +1,104 @@
+"""AGCRN (Bai et al., NeurIPS 2020), compact reproduction.
+
+Signature mechanisms kept: an **adaptive graph** learned from node
+embeddings, **node-adaptive parameter learning** (per-node weights generated
+from the node embeddings), and a **GRU** whose gates are graph convolutions
+over ``[x_t, h_{t-1}]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, matmul, relu, softmax
+from ..nn import init
+from ..nn.linear import Linear
+from ..nn.module import Module, Parameter
+from ..utils.seeding import derive_rng
+from .base import BaselineForecaster
+
+
+class AdaptiveGraphConv(Module):
+    """1-hop GCN over the learned adjacency with node-adaptive parameters.
+
+    Weights are generated from the node embeddings ``E``:
+    ``W = E @ W_pool`` gives each node its own transform (NAPL), applied
+    after propagating features over ``softmax(relu(E E^T))``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, embed_dim: int, n_nodes: int, rng) -> None:
+        super().__init__()
+        self.weights_pool = Parameter(
+            init.normal(rng, (embed_dim, in_dim, out_dim), std=0.1)
+        )
+        self.bias_pool = Parameter(init.normal(rng, (embed_dim, out_dim), std=0.1))
+
+    def forward(self, x: Tensor, node_embeddings: Tensor) -> Tensor:
+        """x: (B, N, D_in) -> (B, N, D_out)."""
+        adjacency = softmax(relu(matmul(node_embeddings, node_embeddings.transpose())), axis=-1)
+        propagated = matmul(adjacency, x)  # (B, N, D_in) via broadcast
+        # Node-adaptive weights: (N, D_in, D_out).
+        embed_dim = node_embeddings.shape[1]
+        weights = matmul(
+            node_embeddings, self.weights_pool.reshape(embed_dim, -1)
+        ).reshape(node_embeddings.shape[0], x.shape[-1], -1)
+        bias = matmul(node_embeddings, self.bias_pool)  # (N, D_out)
+        out = matmul(propagated.transpose(1, 0, 2), weights).transpose(1, 0, 2)
+        return out + bias
+
+
+class AGCRNCell(Module):
+    """GRU cell whose gates are adaptive graph convolutions."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, embed_dim: int, n_nodes: int, rng) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gate_conv = AdaptiveGraphConv(
+            in_dim + hidden_dim, 2 * hidden_dim, embed_dim, n_nodes, rng
+        )
+        self.update_conv = AdaptiveGraphConv(
+            in_dim + hidden_dim, hidden_dim, embed_dim, n_nodes, rng
+        )
+
+    def forward(self, x: Tensor, hidden: Tensor, node_embeddings: Tensor) -> Tensor:
+        combined = concat([x, hidden], axis=-1)
+        gates = self.gate_conv(combined, node_embeddings).sigmoid()
+        reset = gates[:, :, : self.hidden_dim]
+        update = gates[:, :, self.hidden_dim :]
+        candidate_in = concat([x, reset * hidden], axis=-1)
+        candidate = self.update_conv(candidate_in, node_embeddings).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class AGCRN(BaselineForecaster):
+    """Compact AGCRN: adaptive-graph GRU encoder + linear forecasting head."""
+
+    name = "AGCRN"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_features: int,
+        horizon: int,
+        hidden_dim: int = 16,
+        embed_dim: int = 6,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_nodes, n_features, horizon)
+        rng = derive_rng(seed, "agcrn")
+        self.hidden_dim = hidden_dim
+        self.node_embeddings = Parameter(init.normal(rng, (n_nodes, embed_dim), std=0.5))
+        self.cell = AGCRNCell(n_features, hidden_dim, embed_dim, n_nodes, rng)
+        self.head = Linear(hidden_dim, horizon * n_features, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        x = self._check_input(x)
+        batch, steps, n_nodes, _ = x.shape
+        hidden = Tensor(np.zeros((batch, n_nodes, self.hidden_dim), np.float32))
+        for t in range(steps):
+            hidden = self.cell(x[:, t], hidden, self.node_embeddings)
+        projected = self.head(hidden)  # (B, N, horizon * F)
+        return (
+            projected.reshape(batch, n_nodes, self.horizon, self.n_features)
+            .transpose(0, 2, 1, 3)
+        )

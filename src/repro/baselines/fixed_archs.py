@@ -1,0 +1,71 @@
+"""Fixed arch-hypers for the automated-transfer baselines.
+
+The paper compares against the optimal models that AutoSTG+, AutoCTS, and
+AutoCTS+ discovered *once* on a source task (METR-LA P-12/Q-12, PEMS03
+P-12/Q-12, and PEMS08 P-48/Q-48 respectively) and then transfers unchanged to
+every unseen task — which is exactly what makes them weaker than a zero-shot
+search.  The architectures below follow the published case studies:
+
+* **AutoSTG+** searches over DGCN and 1-D convolutions only,
+* **AutoCTS** mixes GDCC/DGCN/INF-T with skip connections,
+* **AutoCTS+** additionally tunes hyperparameters (larger H, dropout on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from ..space.arch import Architecture, Edge
+from ..space.archhyper import ArchHyper
+from ..space.hyperparams import HyperParameters, HyperSpace
+
+TRANSFER_BASELINES = ("AutoSTG+", "AutoCTS", "AutoCTS+")
+
+# Operator sequences reflecting each framework's published search space.
+_EDGE_PATTERNS: dict[str, tuple[str, ...]] = {
+    "AutoSTG+": ("gdcc", "dgcn", "gdcc", "dgcn"),
+    "AutoCTS": ("gdcc", "dgcn", "inf_t", "dgcn"),
+    "AutoCTS+": ("inf_t", "dgcn", "gdcc", "inf_s"),
+}
+_SKIP_SECOND_EDGE = {"AutoCTS": True, "AutoCTS+": True, "AutoSTG+": False}
+
+
+def _chain_architecture(num_nodes: int, ops: tuple[str, ...], with_skip: bool) -> Architecture:
+    """A sequential chain 0 -> 1 -> ... -> C-1 with optional skip edges."""
+    edges = [
+        Edge(i, i + 1, ops[i % len(ops)]) for i in range(num_nodes - 1)
+    ]
+    if with_skip and num_nodes >= 3:
+        edges.append(Edge(0, 2, "skip"))
+    return Architecture(num_nodes=num_nodes, edges=tuple(edges))
+
+
+def _mid(values: tuple[int, ...]) -> int:
+    return sorted(values)[len(values) // 2]
+
+
+def fixed_arch_hyper(name: str, space: HyperSpace | None = None) -> ArchHyper:
+    """The frozen arch-hyper a transfer baseline carries to every task.
+
+    Hyperparameters are drawn from ``space`` so scaled-down experiment spaces
+    stay internally consistent.
+    """
+    if name not in TRANSFER_BASELINES:
+        raise KeyError(f"unknown transfer baseline {name!r}: {TRANSFER_BASELINES}")
+    space = space or HyperSpace()
+    num_nodes = min(space.num_nodes)
+    arch = _chain_architecture(num_nodes, _EDGE_PATTERNS[name], _SKIP_SECOND_EDGE[name])
+    hyper = HyperParameters(
+        num_blocks=_mid(space.num_blocks),
+        num_nodes=num_nodes,
+        hidden_dim=_mid(space.hidden_dims),
+        output_dim=_mid(space.output_dims),
+        output_mode=0,
+        dropout=0,
+    )
+    if name == "AutoCTS+":
+        # The joint-search predecessor tuned hyperparameters too.
+        hyper = dc_replace(
+            hyper, hidden_dim=max(space.hidden_dims), dropout=max(space.dropout)
+        )
+    return ArchHyper(arch=arch, hyper=hyper)

@@ -1,0 +1,53 @@
+"""Builder registry for every baseline the evaluation compares against."""
+
+from __future__ import annotations
+
+from ..core.model import build_forecaster
+from ..nn.module import Module
+from ..space.hyperparams import HyperSpace
+from ..tasks.task import Task
+from .agcrn import AGCRN
+from .autoformer import Autoformer
+from .fedformer import FEDformer
+from .fixed_archs import TRANSFER_BASELINES, fixed_arch_hyper
+from .mtgnn import MTGNN
+from .pdformer import PDFormer
+
+MANUAL_BASELINES = ("MTGNN", "AGCRN", "PDFormer", "Autoformer", "FEDformer")
+ALL_BASELINES = TRANSFER_BASELINES + MANUAL_BASELINES
+
+
+def build_baseline(
+    name: str,
+    task: Task,
+    hidden_dim: int = 16,
+    hyper_space: HyperSpace | None = None,
+    seed: int = 0,
+) -> Module:
+    """Construct baseline ``name`` configured for ``task``.
+
+    Manual baselines get their own compact implementations; automated
+    transfer baselines reuse :class:`~repro.core.model.CTSForecaster` with
+    the frozen arch-hyper each framework found on its source task.
+    """
+    data = task.data
+    common = dict(
+        n_nodes=data.n_series,
+        n_features=data.n_features,
+        horizon=task.horizon,
+        seed=seed,
+    )
+    if name == "MTGNN":
+        return MTGNN(hidden_dim=hidden_dim, **common)
+    if name == "AGCRN":
+        return AGCRN(hidden_dim=hidden_dim, **common)
+    if name == "PDFormer":
+        return PDFormer(adjacency=data.adjacency, hidden_dim=hidden_dim, **common)
+    if name == "Autoformer":
+        return Autoformer(hidden_dim=hidden_dim, **common)
+    if name == "FEDformer":
+        return FEDformer(input_steps=task.p, hidden_dim=hidden_dim, **common)
+    if name in TRANSFER_BASELINES:
+        arch_hyper = fixed_arch_hyper(name, hyper_space)
+        return build_forecaster(arch_hyper, data, task.horizon, seed=seed)
+    raise KeyError(f"unknown baseline {name!r}; known: {ALL_BASELINES}")

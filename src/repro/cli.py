@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``datasets`` — list the registered benchmark datasets and their sizes,
+* ``sample`` — print random arch-hypers from the joint search space,
+* ``train`` — train one sampled/fixed arch-hyper on a dataset and report
+  test metrics,
+* ``search`` — run the zero-shot AutoCTS++ search on a target dataset
+  (pre-training the T-AHC first if it is not cached).
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .data import get_spec, list_datasets
+    from .data.datasets import SOURCE_DATASETS
+
+    print(f"{'name':<14} {'role':<7} {'N':>4} {'T':>6}   {'paper N':>7} {'paper T':>8}")
+    for name in list_datasets():
+        spec = get_spec(name)
+        role = "source" if name in SOURCE_DATASETS else "target"
+        print(
+            f"{name:<14} {role:<7} {spec.n_series:>4} {spec.n_steps:>6}   "
+            f"{spec.paper_n_series:>7} {spec.paper_n_steps:>8}"
+        )
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from .space import JointSearchSpace
+
+    space = JointSearchSpace()
+    rng = np.random.default_rng(args.seed)
+    for i, ah in enumerate(space.sample_batch(args.count, rng)):
+        print(f"[{i}] {ah.hyper}")
+        print(f"    {ah.arch}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core import TrainConfig, build_forecaster, evaluate_forecaster, train_forecaster
+    from .data import get_dataset
+    from .space import JointSearchSpace
+    from .tasks import Task
+
+    data = get_dataset(args.dataset, seed=args.seed)
+    task = Task(
+        data, p=args.p, q=args.q, single_step=args.single_step,
+        max_train_windows=args.max_windows,
+    )
+    ah = JointSearchSpace().sample(np.random.default_rng(args.seed))
+    print(f"task {task.name}; arch-hyper: {ah.hyper}")
+    model = build_forecaster(ah, data, task.horizon, seed=args.seed)
+    result = train_forecaster(
+        model, task.prepared.train, task.prepared.val,
+        TrainConfig(epochs=args.epochs, batch_size=args.batch_size),
+    )
+    scores = evaluate_forecaster(model, task.prepared.test, inverse=task.prepared.inverse)
+    print(f"best val MAE {result.best_val_mae:.4f} (epoch {result.best_epoch})")
+    print(f"test MAE={scores.mae:.4f} RMSE={scores.rmse:.4f} MAPE={scores.mape:.2%}")
+    if args.save:
+        from .io import save_forecaster
+
+        save_forecaster(model, args.save)
+        print(f"saved model to {args.save}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .experiments import SCALES, pretrain_variant, run_zero_shot, target_task
+
+    scale = SCALES[args.scale]
+    artifacts = pretrain_variant(scale, "full", seed=args.seed)
+    setting = scale.setting(args.setting)
+    task = target_task(scale, args.dataset, setting, seed=args.seed)
+    print(f"zero-shot search on {task.name}...")
+    result = run_zero_shot(artifacts, task, scale, seed=args.seed)
+    print(f"searched: {result.best.hyper}")
+    print(f"          {result.best.arch}")
+    print(
+        f"phases: embed {result.timings.embedding:.1f}s, "
+        f"rank {result.timings.ranking:.1f}s, train {result.timings.training:.1f}s"
+    )
+    scores = result.best_scores
+    print(f"test MAE={scores.mae:.4f} RMSE={scores.rmse:.4f} MAPE={scores.mape:.2%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list benchmark datasets").set_defaults(
+        func=_cmd_datasets
+    )
+
+    sample = sub.add_parser("sample", help="sample arch-hypers")
+    sample.add_argument("--count", type=int, default=3)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.set_defaults(func=_cmd_sample)
+
+    train = sub.add_parser("train", help="train one arch-hyper on a dataset")
+    train.add_argument("dataset")
+    train.add_argument("--p", type=int, default=6)
+    train.add_argument("--q", type=int, default=6)
+    train.add_argument("--single-step", action="store_true")
+    train.add_argument("--epochs", type=int, default=5)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--max-windows", type=int, default=256)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", default=None, help="directory to save the model")
+    train.set_defaults(func=_cmd_train)
+
+    search = sub.add_parser("search", help="zero-shot AutoCTS++ search")
+    search.add_argument("dataset")
+    search.add_argument("--setting", default="P-12/Q-12")
+    search.add_argument("--scale", default="tiny", choices=("tiny", "smoke"))
+    search.add_argument("--seed", type=int, default=0)
+    search.set_defaults(func=_cmd_search)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

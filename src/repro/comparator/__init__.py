@@ -1,0 +1,42 @@
+"""Comparators: GIN encoder, AHC (AutoCTS+), T-AHC (AutoCTS++), pre-training."""
+
+from .ahc import AHC, Encodings, pairwise_win_matrix
+from .curriculum import curriculum_schedule
+from .gin import GINEncoder, GINLayer
+from .pairing import (
+    ComparisonPair,
+    ScoredArchHyper,
+    all_ordered_pairs,
+    dynamic_pairs,
+    make_label,
+)
+from .pretrain import (
+    PretrainConfig,
+    PretrainHistory,
+    TaskSampleSet,
+    collect_task_samples,
+    evaluate_comparator,
+    pretrain_tahc,
+)
+from .tahc import TAHC
+
+__all__ = [
+    "AHC",
+    "Encodings",
+    "pairwise_win_matrix",
+    "curriculum_schedule",
+    "GINEncoder",
+    "GINLayer",
+    "ComparisonPair",
+    "ScoredArchHyper",
+    "all_ordered_pairs",
+    "dynamic_pairs",
+    "make_label",
+    "PretrainConfig",
+    "PretrainHistory",
+    "TaskSampleSet",
+    "collect_task_samples",
+    "evaluate_comparator",
+    "pretrain_tahc",
+    "TAHC",
+]

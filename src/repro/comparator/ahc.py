@@ -1,0 +1,101 @@
+"""The Architecture-Hyperparameter Comparator (AHC) of AutoCTS+.
+
+The AHC takes the dual-graph encodings of two arch-hypers, embeds each with a
+shared GIN, concatenates the embeddings, and classifies which candidate has
+higher accuracy.  It is the task-agnostic ancestor of the T-AHC; AutoCTS+
+trains one per target task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, no_grad, sigmoid
+from ..nn.linear import MLP, Linear
+from ..nn.module import Module
+from ..space.archhyper import ArchHyper
+from ..space.encoding import encode_batch
+from ..space.hyperparams import HyperSpace
+from ..utils.seeding import derive_rng
+from .gin import GINEncoder
+
+Encodings = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class AHC(Module):
+    """Pairwise arch-hyper comparator (no task conditioning)."""
+
+    def __init__(
+        self,
+        num_operator_types: int = 5,
+        hyper_dim: int = 6,
+        embed_dim: int = 32,
+        gin_layers: int = 4,
+        hidden_dim: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = derive_rng(seed, "ahc")
+        self.gin = GINEncoder(
+            num_operator_types,
+            hyper_dim=hyper_dim,
+            embed_dim=embed_dim,
+            num_layers=gin_layers,
+            seed=seed,
+        )
+        self.pair_fc = Linear(2 * embed_dim, hidden_dim, rng=rng)
+        self.classifier = MLP([hidden_dim, hidden_dim, 1], rng=rng)
+
+    def pair_features(self, enc_a: Encodings, enc_b: Encodings) -> Tensor:
+        """Concatenated GIN embeddings of the two candidates (Eq. 16)."""
+        l_a = self.gin(*enc_a)
+        l_b = self.gin(*enc_b)
+        return concat([l_a, l_b], axis=-1)
+
+    def forward(self, enc_a: Encodings, enc_b: Encodings) -> Tensor:
+        """Logits (B,): positive means the first candidate is judged better."""
+        features = self.pair_fc(self.pair_features(enc_a, enc_b)).relu()
+        return self.classifier(features).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Convenience inference API
+    # ------------------------------------------------------------------
+    def predict_wins(
+        self,
+        arch_hypers: list[ArchHyper],
+        space: HyperSpace | None = None,
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Full pairwise win matrix W with ``W[i, j] = 1`` iff i beats j."""
+        encodings = encode_batch(arch_hypers, space)
+        return pairwise_win_matrix(
+            lambda a, b: self.forward(a, b), encodings, len(arch_hypers), batch_size
+        )
+
+
+def _index_encodings(encodings: Encodings, index: np.ndarray) -> Encodings:
+    return tuple(array[index] for array in encodings)  # type: ignore[return-value]
+
+
+def pairwise_win_matrix(
+    logit_fn,
+    encodings: Encodings,
+    count: int,
+    batch_size: int = 256,
+) -> np.ndarray:
+    """Evaluate all ordered pairs with ``logit_fn`` into a win matrix."""
+    rows, cols = np.meshgrid(np.arange(count), np.arange(count), indexing="ij")
+    pairs_a, pairs_b = rows.reshape(-1), cols.reshape(-1)
+    keep = pairs_a != pairs_b
+    pairs_a, pairs_b = pairs_a[keep], pairs_b[keep]
+    wins = np.zeros((count, count), dtype=np.float32)
+    with no_grad():
+        for start in range(0, len(pairs_a), batch_size):
+            ia = pairs_a[start : start + batch_size]
+            ib = pairs_b[start : start + batch_size]
+            logits = logit_fn(
+                _index_encodings(encodings, ia), _index_encodings(encodings, ib)
+            )
+            probability = sigmoid(logits).numpy()
+            wins[ia, ib] = (probability >= 0.5).astype(np.float32)
+    return wins

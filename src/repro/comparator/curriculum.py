@@ -1,0 +1,30 @@
+"""Data-level curriculum schedule for T-AHC pre-training (Algorithm 1).
+
+Training starts from the L *shared* samples (easy knowledge: the same
+arch-hypers ranked on every task, directly exposing task similarity) and
+gradually mixes in the per-task *random* samples (hard knowledge: disjoint
+arch-hypers across tasks).  ``Δ`` — the number of random samples included —
+grows over epochs.
+"""
+
+from __future__ import annotations
+
+
+def curriculum_schedule(total_random: int, epochs: int) -> list[int]:
+    """Per-epoch Δ values, growing linearly from 0 to ``total_random``.
+
+    The first epoch always trains on shared samples only (Δ = 0); the last
+    third of training sees the complete sample set.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if total_random < 0:
+        raise ValueError("total_random must be >= 0")
+    if epochs == 1:
+        return [total_random]
+    ramp_epochs = max(1, (2 * epochs) // 3)
+    schedule = []
+    for epoch in range(epochs):
+        fraction = min(1.0, epoch / ramp_epochs)
+        schedule.append(int(round(fraction * total_random)))
+    return schedule

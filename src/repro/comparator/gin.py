@@ -1,0 +1,95 @@
+"""Graph Isomorphism Network encoder for arch-hyper graphs (Eqs. 13–14).
+
+The GIN consumes the dual-graph encoding of Section 3.1.3 — padded adjacency
+``A_a``, per-node operator ids, and the normalized hyperparameter vector —
+and produces one embedding per arch-hyper.  Following the paper, the latent
+of the "Hyper" node (which connects to every operator node) is used as the
+representation ``l_a`` of the whole arch-hyper.
+
+The learnable input embeddings ``W_e`` (operator one-hots, Eq. 8) and ``W_c``
+(hyperparameter projection, Eq. 7) live here and are trained jointly with the
+comparator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, embedding, matmul
+from ..nn import init
+from ..nn.linear import MLP, Linear
+from ..nn.module import Module, ModuleList, Parameter
+from ..space.encoding import HYPER_NODE
+from ..utils.seeding import derive_rng
+
+
+class GINLayer(Module):
+    """One GIN step: ``H <- MLP((1 + eps) H + A H)``."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.eps = Parameter(np.zeros(1, dtype=np.float32))
+        self.mlp = MLP([dim, dim, dim], rng=rng)
+
+    def forward(self, h: Tensor, adjacency: Tensor) -> Tensor:
+        aggregated = matmul(adjacency, h)
+        return self.mlp(h * (self.eps + 1.0) + aggregated)
+
+
+class GINEncoder(Module):
+    """Encode batched arch-hyper graphs into ``l_a`` vectors."""
+
+    def __init__(
+        self,
+        num_operator_types: int,
+        hyper_dim: int = 6,
+        embed_dim: int = 32,
+        num_layers: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("GIN needs at least one layer")
+        rng = derive_rng(seed, "gin")
+        self.embed_dim = embed_dim
+        # W_e of Eq. 8: one-hot operator embedding.
+        self.operator_embedding = Parameter(
+            init.normal(rng, (num_operator_types, embed_dim), std=0.1)
+        )
+        # W_c of Eq. 7: hyperparameter-vector projection.
+        self.hyper_proj = Linear(hyper_dim, embed_dim, rng=rng)
+        self.layers = ModuleList(GINLayer(embed_dim, rng) for _ in range(num_layers))
+
+    def node_features(
+        self, op_indices: np.ndarray, hyper: np.ndarray
+    ) -> Tensor:
+        """Assemble the feature matrix F_a = concat(F_h, F_e) (Section 3.1.3)."""
+        batch, max_nodes = op_indices.shape
+        op_mask = (op_indices >= 0).astype(np.float32)[..., None]
+        safe_indices = np.where(op_indices >= 0, op_indices, 0)
+        operator_features = embedding(self.operator_embedding, safe_indices) * Tensor(
+            op_mask
+        )
+        hyper_features = self.hyper_proj(Tensor(hyper))  # (B, D)
+        hyper_row = hyper_features.reshape(batch, 1, self.embed_dim)
+        padding = Tensor(np.zeros((batch, max_nodes - 1, self.embed_dim), np.float32))
+        hyper_block = concat([hyper_row, padding], axis=1)
+        return operator_features + hyper_block
+
+    def forward(
+        self,
+        adjacency: np.ndarray,
+        op_indices: np.ndarray,
+        hyper: np.ndarray,
+        mask: np.ndarray,
+    ) -> Tensor:
+        """Encode a batch; inputs are the arrays from ``encode_batch``.
+
+        Returns the Hyper-node latents, shape ``(B, embed_dim)``.
+        """
+        h = self.node_features(op_indices, hyper)
+        adjacency_t = Tensor(adjacency)
+        node_mask = Tensor(mask[..., None].astype(np.float32))
+        for layer in self.layers:
+            h = layer(h, adjacency_t) * node_mask  # keep padding rows at zero
+        return h[:, HYPER_NODE, :]

@@ -1,0 +1,79 @@
+"""Dynamic pairing of measured arch-hypers into comparator training pairs.
+
+From ``a`` measured ``(ah, R'(ah))`` records one can form ``a(a-1)`` ordered
+training pairs — the sample-efficiency trick of the comparator approach.  To
+avoid overfitting, pairs are regenerated and shuffled *every epoch* (the
+dynamic pairing of BRP-NAS/CTNAS adopted by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..space.archhyper import ArchHyper
+
+
+@dataclass(frozen=True)
+class ScoredArchHyper:
+    """An arch-hyper with its measured early-validation error (lower better)."""
+
+    arch_hyper: ArchHyper
+    score: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.score):
+            raise ValueError(f"non-finite score for {self.arch_hyper}")
+
+
+@dataclass(frozen=True)
+class ComparisonPair:
+    """One training pair: indices into a candidate pool plus the label.
+
+    ``label == 1`` means the first candidate is more accurate, i.e.
+    ``score_a < score_b`` (scores are errors).
+    """
+
+    index_a: int
+    index_b: int
+    label: float
+
+
+def make_label(score_a: float, score_b: float) -> float:
+    """y = 1(R(ah_a) >= R(ah_b)) with accuracies == 1(err_a <= err_b)."""
+    return 1.0 if score_a <= score_b else 0.0
+
+
+def dynamic_pairs(
+    scores: np.ndarray,
+    rng: np.random.Generator,
+    n_pairs: int,
+) -> list[ComparisonPair]:
+    """Draw ``n_pairs`` random ordered pairs with ground-truth labels.
+
+    Pairs with identical scores are kept (label 1 by the >= convention);
+    ``i == j`` self-pairs are excluded.
+    """
+    count = len(scores)
+    if count < 2:
+        raise ValueError("need at least two scored candidates to build pairs")
+    pairs: list[ComparisonPair] = []
+    for _ in range(n_pairs):
+        i = int(rng.integers(count))
+        j = int(rng.integers(count - 1))
+        if j >= i:
+            j += 1
+        pairs.append(ComparisonPair(i, j, make_label(scores[i], scores[j])))
+    return pairs
+
+
+def all_ordered_pairs(scores: np.ndarray) -> list[ComparisonPair]:
+    """Every ordered pair (used by evaluation, not training)."""
+    count = len(scores)
+    return [
+        ComparisonPair(i, j, make_label(scores[i], scores[j]))
+        for i in range(count)
+        for j in range(count)
+        if i != j
+    ]

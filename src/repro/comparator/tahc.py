@@ -1,0 +1,119 @@
+"""The Task-aware Architecture-Hyperparameter Comparator (T-AHC, Fig. 4).
+
+T-AHC extends the AHC with a task-conditioning pathway: the task's
+preliminary embedding (TS2Vec windows, Eqs. 9–10) is refined by the trainable
+task encoder (Set-Transformer, Eqs. 11–12) into ``E'``, passed through a
+fully-connected layer, and concatenated with the arch-hyper-pair features
+before classification (Eqs. 17–21).  Pre-trained across many tasks, it ranks
+candidates for *unseen* tasks zero-shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, no_grad
+from ..nn.linear import MLP, Linear
+from ..nn.module import Module
+from ..space.archhyper import ArchHyper
+from ..space.encoding import encode_batch
+from ..space.hyperparams import HyperSpace
+from ..utils.seeding import derive_rng
+from .ahc import Encodings, pairwise_win_matrix
+from .gin import GINEncoder
+
+
+class TAHC(Module):
+    """Task-aware pairwise comparator over the joint search space."""
+
+    def __init__(
+        self,
+        num_operator_types: int = 5,
+        hyper_dim: int = 6,
+        embed_dim: int = 32,
+        gin_layers: int = 4,
+        hidden_dim: int = 32,
+        task_encoder: Module | None = None,
+        preliminary_dim: int = 16,
+        task_embed_dim: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = derive_rng(seed, "tahc")
+        self.gin = GINEncoder(
+            num_operator_types,
+            hyper_dim=hyper_dim,
+            embed_dim=embed_dim,
+            num_layers=gin_layers,
+            seed=seed,
+        )
+        if task_encoder is None:
+            from ..embedding.task_encoder import TaskEncoder
+
+            task_encoder = TaskEncoder(
+                input_dim=preliminary_dim, output_dim=task_embed_dim, seed=seed
+            )
+        self.task_encoder = task_encoder
+        task_dim = task_encoder.output_dim
+        self.pair_fc = Linear(2 * embed_dim, hidden_dim, rng=rng)  # FC_L (Eq. 17)
+        self.task_fc = Linear(task_dim, hidden_dim, rng=rng)  # FC_E (Eq. 18)
+        self.classifier = MLP([2 * hidden_dim, hidden_dim, 1], rng=rng)  # Eqs. 20–21
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    def encode_task(self, preliminary: np.ndarray) -> Tensor:
+        """Refine a preliminary task embedding (num_windows, S, F') to E'."""
+        return self.task_encoder(preliminary)
+
+    def forward(
+        self,
+        task_embedding: Tensor,
+        enc_a: Encodings,
+        enc_b: Encodings,
+    ) -> Tensor:
+        """Logits (B,): positive means candidate ``a`` is judged better for the task.
+
+        ``task_embedding`` is E' from :meth:`encode_task` — a single vector,
+        broadcast over the pair batch.
+        """
+        l_a = self.gin(*enc_a)
+        l_b = self.gin(*enc_b)
+        pair = self.pair_fc(concat([l_a, l_b], axis=-1)).relu()  # L'_a
+        batch = pair.shape[0]
+        task = self.task_fc(task_embedding.reshape(1, -1)).relu()  # Ẽ'
+        task_rows = concat([task] * batch, axis=0)
+        features = concat([pair, task_rows], axis=-1)  # O (Eq. 19)
+        return self.classifier(features).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Inference helpers
+    # ------------------------------------------------------------------
+    def task_embedding_vector(self, preliminary: np.ndarray) -> np.ndarray:
+        """E' as a numpy vector (used for visualization, Figure 6)."""
+        self.eval()
+        with no_grad():
+            vector = self.encode_task(preliminary).numpy().copy()
+        self.train()
+        return vector
+
+    def predict_wins(
+        self,
+        preliminary: np.ndarray,
+        arch_hypers: list[ArchHyper],
+        space: HyperSpace | None = None,
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Pairwise win matrix of ``arch_hypers`` under the given task."""
+        self.eval()
+        encodings = encode_batch(arch_hypers, space)
+        with no_grad():
+            task_embedding = self.encode_task(preliminary)
+            wins = pairwise_win_matrix(
+                lambda a, b: self.forward(task_embedding, a, b),
+                encodings,
+                len(arch_hypers),
+                batch_size,
+            )
+        self.train()
+        return wins

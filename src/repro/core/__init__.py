@@ -1,0 +1,24 @@
+"""Core forecasting machinery: ST-blocks, the forecaster, and its trainer."""
+
+from .model import CTSForecaster, build_forecaster
+from .stblock import STBlock
+from .trainer import (
+    TrainConfig,
+    TrainResult,
+    evaluate_by_horizon,
+    evaluate_forecaster,
+    predict,
+    train_forecaster,
+)
+
+__all__ = [
+    "CTSForecaster",
+    "build_forecaster",
+    "STBlock",
+    "TrainConfig",
+    "TrainResult",
+    "evaluate_by_horizon",
+    "evaluate_forecaster",
+    "predict",
+    "train_forecaster",
+]

@@ -1,0 +1,105 @@
+"""The full CTS forecasting model (paper Figure 2).
+
+``input module -> B stacked ST-blocks (residual) -> output module``
+
+* the input module lifts the ``F`` raw features to the hidden width ``H``
+  with a 1x1 convolution,
+* ST-blocks are stacked sequentially with residual connections and channel
+  normalization, the simple-yet-effective topology the paper adopts,
+* the output module reads the final time step (the causal summary of the
+  window), widens to the output dimension ``I``, and maps to the forecasting
+  horizon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor
+from ..data.datasets import CTSData
+from ..data.graph import transition_matrix
+from ..nn.conv import PointwiseConv2d
+from ..nn.module import Module, ModuleList
+from ..nn.norm import ChannelNorm2d
+from ..operators import OperatorContext
+from ..space.archhyper import ArchHyper
+from ..utils.seeding import derive_rng
+from .stblock import STBlock
+
+DROPOUT_RATE_WHEN_ENABLED = 0.3
+
+
+class CTSForecaster(Module):
+    """End-to-end forecasting model defined by an :class:`ArchHyper`."""
+
+    def __init__(
+        self,
+        arch_hyper: ArchHyper,
+        n_nodes: int,
+        n_features: int,
+        horizon: int,
+        supports: list[np.ndarray] | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.arch_hyper = arch_hyper
+        self.horizon = horizon
+        self.n_features = n_features
+        self.n_nodes = n_nodes
+        self.supports = [np.asarray(s, dtype=np.float32) for s in (supports or [])]
+        hyper = arch_hyper.hyper
+        rng = derive_rng(seed, "forecaster", arch_hyper.key())
+        dropout_rate = DROPOUT_RATE_WHEN_ENABLED if hyper.dropout else 0.0
+        context = OperatorContext(
+            hidden_dim=hyper.hidden_dim,
+            n_nodes=n_nodes,
+            supports=self.supports,
+            dropout_rate=dropout_rate,
+            rng=rng,
+        )
+        self.input_proj = PointwiseConv2d(n_features, hyper.hidden_dim, rng=rng)
+        self.blocks = ModuleList(
+            STBlock(arch_hyper.arch, context, output_mode=hyper.output_mode)
+            for _ in range(hyper.num_blocks)
+        )
+        self.norms = ModuleList(
+            ChannelNorm2d(hyper.hidden_dim) for _ in range(hyper.num_blocks)
+        )
+        self.out_widen = PointwiseConv2d(hyper.hidden_dim, hyper.output_dim, rng=rng)
+        self.out_head = PointwiseConv2d(
+            hyper.output_dim, horizon * n_features, rng=rng
+        )
+
+    def forward(self, x) -> Tensor:
+        """Forecast from history ``x (B, P, N, F)`` to ``(B, horizon, N, F)``."""
+        x = as_tensor(x)
+        batch, _, n_nodes, _ = x.shape
+        latent = self.input_proj(x.transpose(0, 3, 2, 1))  # (B, H, N, P)
+        for block, norm in zip(self.blocks, self.norms):
+            latent = norm(latent + block(latent))
+        summary = latent[:, :, :, -1:]  # causal summary at the last step
+        widened = self.out_widen(summary.relu()).relu()
+        projected = self.out_head(widened)  # (B, horizon * F, N, 1)
+        return (
+            projected.reshape(batch, self.horizon, self.n_features, n_nodes)
+            .transpose(0, 1, 3, 2)
+        )
+
+
+def build_forecaster(
+    arch_hyper: ArchHyper,
+    data: CTSData,
+    horizon: int,
+    seed: int = 0,
+) -> CTSForecaster:
+    """Construct a forecaster for ``data`` with diffusion supports from its graph."""
+    forward = transition_matrix(data.adjacency)
+    backward = transition_matrix(data.adjacency.T)
+    return CTSForecaster(
+        arch_hyper,
+        n_nodes=data.n_series,
+        n_features=data.n_features,
+        horizon=horizon,
+        supports=[forward, backward],
+        seed=seed,
+    )

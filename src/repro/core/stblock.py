@@ -1,0 +1,51 @@
+"""ST-block assembly: instantiate an architecture DAG as a neural module.
+
+Each DAG node holds a latent representation of shape ``(B, H, N, T)``; each
+edge applies its operator to the source representation, and a node's value is
+the sum of its incoming transformed representations (Eq. 6 specialised to the
+derived, discrete architecture).  The hyperparameter ``U`` selects the block
+output: the last node (AutoCTS style) or the sum of all intermediate nodes
+(Graph WaveNet style).
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..nn.module import Module, ModuleList
+from ..operators import OperatorContext, build_operator
+from ..space.arch import Architecture
+
+
+class STBlock(Module):
+    """One spatio-temporal block built from an :class:`Architecture` DAG."""
+
+    def __init__(
+        self,
+        arch: Architecture,
+        context: OperatorContext,
+        output_mode: int = 0,
+    ) -> None:
+        super().__init__()
+        if output_mode not in (0, 1):
+            raise ValueError(f"output_mode must be 0 or 1, got {output_mode}")
+        self.arch = arch
+        self.output_mode = output_mode
+        self.operators = ModuleList(
+            build_operator(edge.op, context) for edge in arch.edges
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        nodes: list[Tensor | None] = [x] + [None] * (self.arch.num_nodes - 1)
+        for edge, operator in zip(self.arch.edges, self.operators):
+            source = nodes[edge.source]
+            if source is None:  # unreachable by construction, defensive only
+                raise RuntimeError(f"node {edge.source} evaluated before assignment")
+            transformed = operator(source)
+            current = nodes[edge.target]
+            nodes[edge.target] = transformed if current is None else current + transformed
+        if self.output_mode == 0:
+            return nodes[-1]
+        total = nodes[1]
+        for node in nodes[2:]:
+            total = total + node
+        return total

@@ -1,0 +1,46 @@
+"""Correlated time series data substrate: datasets, windows, graphs, scalers."""
+
+from .datasets import (
+    CTSData,
+    DATASET_SPECS,
+    DatasetSpec,
+    SOURCE_DATASETS,
+    TARGET_DATASETS,
+    get_dataset,
+    get_spec,
+    list_datasets,
+)
+from .generators import GENERATORS
+from .graph import (
+    gaussian_kernel_adjacency,
+    random_sensor_positions,
+    subsample_adjacency,
+    symmetric_normalized_laplacian_support,
+    transition_matrix,
+)
+from .scalers import StandardScaler
+from . import transforms
+from .windows import WindowSet, iterate_batches, make_windows, split_windows
+
+__all__ = [
+    "CTSData",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "SOURCE_DATASETS",
+    "TARGET_DATASETS",
+    "get_dataset",
+    "get_spec",
+    "list_datasets",
+    "GENERATORS",
+    "gaussian_kernel_adjacency",
+    "random_sensor_positions",
+    "subsample_adjacency",
+    "symmetric_normalized_laplacian_support",
+    "transition_matrix",
+    "StandardScaler",
+    "transforms",
+    "WindowSet",
+    "iterate_batches",
+    "make_windows",
+    "split_windows",
+]

@@ -1,0 +1,158 @@
+"""Dataset objects and the benchmark registry.
+
+:class:`CTSData` is the in-memory representation of a correlated time series
+dataset — the ``X ∈ R^{N×T×F}`` array of Section 2.1 plus its spatial graph.
+:func:`get_dataset` materializes any of the paper's benchmark datasets from
+the synthetic generators, with sizes scaled down from the paper's Table 3 by
+a constant factor so everything runs on CPU (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..utils.seeding import derive_rng
+from .generators import GENERATORS
+from .graph import subsample_adjacency
+
+
+@dataclass(frozen=True)
+class CTSData:
+    """A correlated time series dataset: values ``(N, T, F)`` and its graph."""
+
+    name: str
+    values: np.ndarray
+    adjacency: np.ndarray
+    domain: str
+    steps_per_day: int = 288
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 3:
+            raise ValueError(f"values must be (N, T, F), got {self.values.shape}")
+        n = self.values.shape[0]
+        if self.adjacency.shape != (n, n):
+            raise ValueError(
+                f"adjacency {self.adjacency.shape} inconsistent with N={n}"
+            )
+
+    @property
+    def n_series(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_steps(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[2]
+
+    def slice_time(self, start: int, end: int, name: str | None = None) -> "CTSData":
+        """A temporally-continuous subset (task-enrichment, Figure 5)."""
+        if not 0 <= start < end <= self.n_steps:
+            raise ValueError(f"bad time slice [{start}, {end}) for T={self.n_steps}")
+        return replace(
+            self,
+            name=name or f"{self.name}[{start}:{end}]",
+            values=self.values[:, start:end],
+        )
+
+    def select_nodes(self, nodes: np.ndarray, name: str | None = None) -> "CTSData":
+        """Node subsample with adjacency reconstruction (task-enrichment)."""
+        nodes = np.asarray(nodes)
+        if nodes.size == 0 or nodes.max() >= self.n_series:
+            raise ValueError(f"invalid node selection for N={self.n_series}")
+        return replace(
+            self,
+            name=name or f"{self.name}|nodes={nodes.size}",
+            values=self.values[nodes],
+            adjacency=subsample_adjacency(self.adjacency, nodes),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: which generator family, at which (scaled) size."""
+
+    family: str
+    n_series: int
+    n_steps: int
+    steps_per_day: int
+    paper_n_series: int
+    paper_n_steps: int
+    split_ratio_multi: tuple[int, int, int] = (7, 1, 2)
+    split_ratio_single: tuple[int, int, int] = (6, 2, 2)
+    generator_kwargs: dict = field(default_factory=dict)
+
+
+# Sizes below scale the paper's Table 3 down by roughly 16x in N and T while
+# preserving the *relative* ordering of dataset scales, which is what the
+# task-embedding experiments depend on (Section 4.2.1/4.2.6).
+SOURCE_DATASETS: dict[str, DatasetSpec] = {
+    "PEMS03": DatasetSpec("traffic_flow", 12, 1600, 288, 358, 26208),
+    "PEMS04": DatasetSpec("traffic_flow", 12, 1050, 288, 307, 16992),
+    "PEMS07": DatasetSpec("traffic_flow", 16, 1750, 288, 883, 28224),
+    "PEMS08": DatasetSpec("traffic_flow", 10, 1100, 288, 170, 17856),
+    "METR-LA": DatasetSpec("traffic_speed", 13, 2100, 288, 207, 34272),
+    "ETTh1": DatasetSpec("ett", 7, 1100, 24, 7, 17420),
+    "ETTh2": DatasetSpec("ett", 7, 1100, 24, 7, 17420),
+    "ETTm1": DatasetSpec("ett", 7, 2100, 96, 7, 69680),
+    "ETTm2": DatasetSpec("ett", 7, 2100, 96, 7, 69680),
+    "Solar-Energy": DatasetSpec("solar", 12, 3200, 144, 137, 52560),
+    "ExchangeRate": DatasetSpec("exchange_rate", 8, 480, 1, 8, 7588),
+}
+
+TARGET_DATASETS: dict[str, DatasetSpec] = {
+    "PEMS-BAY": DatasetSpec(
+        "traffic_speed", 20, 3250, 288, 325, 52116, (7, 1, 2), (6, 2, 2)
+    ),
+    "Electricity": DatasetSpec(
+        "electricity", 20, 1650, 24, 321, 26304, (7, 1, 2), (6, 2, 2)
+    ),
+    "PEMSD7M": DatasetSpec(
+        "traffic_speed", 14, 800, 288, 228, 12671, (6, 2, 2), (6, 2, 2)
+    ),
+    "NYC-TAXI": DatasetSpec("demand", 16, 560, 48, 266, 4368, (6, 2, 2), (6, 2, 2)),
+    "NYC-BIKE": DatasetSpec("demand", 15, 560, 48, 250, 4368, (6, 2, 2), (6, 2, 2)),
+    "Los-Loop": DatasetSpec(
+        "traffic_speed", 13, 420, 288, 207, 2016, (7, 1, 2), (6, 2, 2)
+    ),
+    "SZ-TAXI": DatasetSpec(
+        "traffic_speed", 10, 480, 96, 156, 2976, (7, 1, 2), (6, 2, 2)
+    ),
+}
+
+DATASET_SPECS: dict[str, DatasetSpec] = {**SOURCE_DATASETS, **TARGET_DATASETS}
+
+
+def list_datasets() -> list[str]:
+    """Names of every registered benchmark dataset."""
+    return sorted(DATASET_SPECS)
+
+
+def get_dataset(name: str, seed: int = 0) -> CTSData:
+    """Materialize benchmark dataset ``name`` deterministically under ``seed``."""
+    if name not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; known: {list_datasets()}")
+    spec = DATASET_SPECS[name]
+    rng = derive_rng(seed, "dataset", name)
+    generator = GENERATORS[spec.family]
+    kwargs = dict(spec.generator_kwargs)
+    if spec.family not in ("exchange_rate",):
+        kwargs.setdefault("steps_per_day", spec.steps_per_day)
+    values, adjacency = generator(spec.n_series, spec.n_steps, rng, **kwargs)
+    return CTSData(
+        name=name,
+        values=values.astype(np.float32),
+        adjacency=adjacency,
+        domain=spec.family,
+        steps_per_day=spec.steps_per_day,
+    )
+
+
+def get_spec(name: str) -> DatasetSpec:
+    if name not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}")
+    return DATASET_SPECS[name]

@@ -1,0 +1,210 @@
+"""Synthetic correlated-time-series generators.
+
+The paper evaluates on public sensor datasets (traffic speed/flow, electricity
+consumption, taxi/bike demand, solar production, exchange rates).  This
+environment has no network access, so each benchmark family is replaced by a
+seeded generator that reproduces the statistical structure the method
+exploits:
+
+* **temporal structure** — diurnal and weekly seasonality, domain-specific
+  shapes (rush-hour dips for speed, double-hump volumes, night-zero solar,
+  random-walk exchange rates),
+* **spatial structure** — a ground-truth sensor graph; congestion/demand
+  shocks diffuse over graph neighbourhoods so nearby series correlate,
+* **scale structure** — per-dataset numbers of series and lengths mirroring
+  the relative sizes in the paper's Table 3.
+
+Every generator returns ``(values, adjacency)`` with ``values`` of shape
+``(N, T, F)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import gaussian_kernel_adjacency, random_sensor_positions
+
+
+def _diurnal(t: np.ndarray, steps_per_day: int, phase: float = 0.0) -> np.ndarray:
+    """A smooth 24h periodic curve in [-1, 1]."""
+    return np.sin(2.0 * np.pi * (t / steps_per_day + phase))
+
+
+def _weekly(t: np.ndarray, steps_per_day: int) -> np.ndarray:
+    return np.sin(2.0 * np.pi * t / (7.0 * steps_per_day))
+
+
+def _diffuse_events(
+    n_nodes: int,
+    n_steps: int,
+    adj: np.ndarray,
+    rng: np.random.Generator,
+    rate: float = 0.01,
+    magnitude: float = 1.0,
+    duration: int = 12,
+) -> np.ndarray:
+    """Localized shocks that decay over time and spread to graph neighbours.
+
+    This is what makes the series *correlated*: an event at node ``i``
+    bleeds into the rows of nodes adjacent to ``i``, with strength given by
+    the adjacency weights — exactly the structure S-operators are supposed
+    to pick up.
+    """
+    events = np.zeros((n_nodes, n_steps), dtype=np.float64)
+    n_events = rng.poisson(rate * n_nodes * n_steps)
+    neighbor = adj / np.maximum(adj.sum(axis=1, keepdims=True), 1e-8)
+    for _ in range(n_events):
+        node = int(rng.integers(n_nodes))
+        start = int(rng.integers(n_steps))
+        length = int(rng.integers(duration // 2, duration * 2))
+        end = min(start + length, n_steps)
+        profile = magnitude * np.exp(-np.linspace(0, 3, end - start))
+        events[node, start:end] += profile
+    # One diffusion step spreads each event to graph neighbours.
+    return events + 0.5 * neighbor @ events
+
+
+def generate_traffic_speed(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+    steps_per_day: int = 288,
+    free_flow: float = 62.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """METR-LA / PEMS-BAY / Los-Loop style traffic speeds (mph)."""
+    adj = gaussian_kernel_adjacency(random_sensor_positions(n_nodes, rng))
+    t = np.arange(n_steps, dtype=np.float64)
+    base = free_flow + rng.normal(0, 3, size=(n_nodes, 1))
+    # Morning and evening rush hours reduce speed.
+    rush = 8.0 * np.clip(_diurnal(t, steps_per_day, phase=0.30), 0, None) + 6.0 * np.clip(
+        _diurnal(t, steps_per_day, phase=0.75), 0, None
+    )
+    congestion = _diffuse_events(n_nodes, n_steps, adj, rng, rate=0.003, magnitude=15.0)
+    noise = rng.normal(0, 1.5, size=(n_nodes, n_steps))
+    speed = base - rush[None, :] - congestion + noise
+    return np.clip(speed, 3.0, None)[..., None], adj
+
+
+def generate_traffic_flow(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+    steps_per_day: int = 288,
+    mean_flow: float = 230.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """PEMS03/04/07/08 style traffic volumes (vehicles / 5 min)."""
+    adj = gaussian_kernel_adjacency(random_sensor_positions(n_nodes, rng))
+    t = np.arange(n_steps, dtype=np.float64)
+    base = mean_flow * (1.0 + 0.3 * rng.random((n_nodes, 1)))
+    hump = 0.45 * np.clip(_diurnal(t, steps_per_day, 0.3), 0, None) + 0.35 * np.clip(
+        _diurnal(t, steps_per_day, 0.8), 0, None
+    )
+    weekly = 0.08 * _weekly(t, steps_per_day)
+    surges = _diffuse_events(n_nodes, n_steps, adj, rng, rate=0.002, magnitude=0.4)
+    noise = rng.normal(0, 0.05, size=(n_nodes, n_steps))
+    flow = base * (0.6 + hump[None, :] + weekly[None, :] + surges + noise)
+    return np.clip(flow, 0.0, None)[..., None], adj
+
+
+def generate_electricity(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+    steps_per_day: int = 24,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Electricity-consumption style loads with heterogeneous client scales."""
+    adj = gaussian_kernel_adjacency(random_sensor_positions(n_nodes, rng), threshold=0.3)
+    t = np.arange(n_steps, dtype=np.float64)
+    # Log-normal client scales reproduce the heavy-tailed magnitudes that make
+    # MAPE on Electricity so large in the paper's tables.
+    scale = np.exp(rng.normal(5.5, 1.0, size=(n_nodes, 1)))
+    daily = 0.35 * _diurnal(t, steps_per_day, phase=0.6)
+    weekly = 0.15 * _weekly(t, steps_per_day)
+    idiosyncratic = rng.normal(0, 0.08, size=(n_nodes, n_steps)).cumsum(axis=1) * 0.02
+    noise = rng.normal(0, 0.06, size=(n_nodes, n_steps))
+    load = scale * (1.0 + daily[None, :] + weekly[None, :] + idiosyncratic + noise)
+    return np.clip(load, 0.0, None)[..., None], adj
+
+
+def generate_demand(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+    steps_per_day: int = 48,
+    mean_demand: float = 12.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """NYC-TAXI / NYC-BIKE style demand counts at virtual stations."""
+    adj = gaussian_kernel_adjacency(random_sensor_positions(n_nodes, rng), threshold=0.15)
+    t = np.arange(n_steps, dtype=np.float64)
+    station_popularity = np.exp(rng.normal(0, 0.7, size=(n_nodes, 1)))
+    daily = 0.8 * np.clip(_diurnal(t, steps_per_day, 0.55), 0, None)
+    weekend = 0.25 * np.clip(_weekly(t, steps_per_day), 0, None)
+    bursts = _diffuse_events(n_nodes, n_steps, adj, rng, rate=0.004, magnitude=0.9)
+    intensity = mean_demand * station_popularity * (0.3 + daily + weekend + bursts)
+    counts = rng.poisson(np.clip(intensity, 0.05, None)).astype(np.float64)
+    return counts[..., None], adj
+
+
+def generate_solar(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+    steps_per_day: int = 144,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solar-Energy style PV production: zero at night, bell-shaped by day."""
+    adj = gaussian_kernel_adjacency(random_sensor_positions(n_nodes, rng), threshold=0.2)
+    t = np.arange(n_steps, dtype=np.float64)
+    elevation = np.clip(_diurnal(t, steps_per_day, phase=-0.25), 0, None) ** 1.5
+    capacity = 20.0 * (1.0 + 0.4 * rng.random((n_nodes, 1)))
+    # Cloud cover is spatially correlated: shared regional field + local noise.
+    regional = np.clip(1.0 - 0.5 * np.abs(rng.normal(0, 0.5, size=(1, n_steps))), 0.2, 1.0)
+    local = np.clip(1.0 - 0.3 * np.abs(rng.normal(0, 0.5, size=(n_nodes, n_steps))), 0.3, 1.0)
+    production = capacity * elevation[None, :] * regional * local
+    return production[..., None], adj
+
+
+def generate_exchange_rate(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """ExchangeRate style daily FX rates: correlated geometric random walks."""
+    adj = np.ones((n_nodes, n_nodes), dtype=np.float32)
+    common = rng.normal(0, 0.004, size=(1, n_steps))
+    idiosyncratic = rng.normal(0, 0.006, size=(n_nodes, n_steps))
+    log_returns = 0.5 * common + idiosyncratic
+    start = rng.uniform(0.5, 2.0, size=(n_nodes, 1))
+    rates = start * np.exp(np.cumsum(log_returns, axis=1))
+    return rates[..., None], adj
+
+
+def generate_ett(
+    n_nodes: int,
+    n_steps: int,
+    rng: np.random.Generator,
+    steps_per_day: int = 24,
+    n_features: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """ETT style electricity-transformer indicators: trend + daily cycles."""
+    adj = np.ones((n_nodes, n_nodes), dtype=np.float32)
+    t = np.arange(n_steps, dtype=np.float64)
+    features = []
+    for f in range(n_features):
+        trend = rng.normal(0, 0.002) * t
+        daily = rng.uniform(0.5, 2.0) * _diurnal(t, steps_per_day, rng.random())
+        level = rng.uniform(5, 30, size=(n_nodes, 1))
+        noise = rng.normal(0, 0.3, size=(n_nodes, n_steps))
+        features.append(level + trend[None, :] + daily[None, :] + noise)
+    values = np.stack(features, axis=-1)
+    return values, adj
+
+
+GENERATORS = {
+    "traffic_speed": generate_traffic_speed,
+    "traffic_flow": generate_traffic_flow,
+    "electricity": generate_electricity,
+    "demand": generate_demand,
+    "solar": generate_solar,
+    "exchange_rate": generate_exchange_rate,
+    "ett": generate_ett,
+}

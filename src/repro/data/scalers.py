@@ -1,0 +1,41 @@
+"""Feature scaling.
+
+Forecasting models train on standardized values and report metrics in the
+original units; :class:`StandardScaler` handles both directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature standardization fitted on training data only."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        """Fit over all axes except the trailing feature axis."""
+        axes = tuple(range(values.ndim - 1))
+        self.mean_ = values.mean(axis=axes)
+        std = values.std(axis=axes)
+        std[std == 0] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return ((values - self.mean_) / self.std_).astype(np.float32)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return values * self.std_ + self.mean_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler used before fit()")

@@ -1,0 +1,67 @@
+"""Time series augmentations.
+
+Used for robustness experiments and as the augmentation inventory behind
+contrastive pre-training (TS2Vec's crop + mask live in the TS2Vec module
+itself; these are the generic, reusable forms).  All transforms accept and
+return ``(..., T, F)`` arrays and take an explicit RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jitter(values: np.ndarray, rng: np.random.Generator, sigma: float = 0.03) -> np.ndarray:
+    """Additive Gaussian noise scaled by the series' standard deviation."""
+    scale = values.std() * sigma
+    return values + rng.normal(0.0, scale, size=values.shape)
+
+
+def magnitude_scale(
+    values: np.ndarray, rng: np.random.Generator, sigma: float = 0.1
+) -> np.ndarray:
+    """Multiply each feature channel by a random factor around 1."""
+    factors = rng.normal(1.0, sigma, size=values.shape[-1])
+    return values * factors
+
+
+def random_crop(
+    values: np.ndarray, rng: np.random.Generator, crop_length: int
+) -> np.ndarray:
+    """Contiguous random crop along the time axis (second-to-last axis)."""
+    time = values.shape[-2]
+    if not 0 < crop_length <= time:
+        raise ValueError(f"crop_length {crop_length} not in (0, {time}]")
+    start = int(rng.integers(0, time - crop_length + 1))
+    return values[..., start : start + crop_length, :]
+
+
+def timestamp_mask(
+    values: np.ndarray, rng: np.random.Generator, rate: float = 0.15
+) -> np.ndarray:
+    """Zero out random timestamps (TS2Vec's masking augmentation)."""
+    if not 0 <= rate < 1:
+        raise ValueError(f"mask rate must be in [0, 1), got {rate}")
+    masked = values.copy()
+    drop = rng.random(values.shape[:-1]) < rate
+    masked[drop] = 0.0
+    return masked
+
+
+def missing_blocks(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    n_blocks: int = 2,
+    block_length: int = 4,
+) -> np.ndarray:
+    """Simulate sensor outages: zero out contiguous time blocks per series.
+
+    Used by failure-injection tests: CTS pipelines must stay finite under
+    realistic missing-data patterns.
+    """
+    corrupted = values.copy()
+    time = values.shape[-2]
+    for _ in range(n_blocks):
+        start = int(rng.integers(0, max(time - block_length, 1)))
+        corrupted[..., start : start + block_length, :] = 0.0
+    return corrupted

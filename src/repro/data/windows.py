@@ -1,0 +1,93 @@
+"""Sliding-window construction and batching for forecasting tasks.
+
+Implements the problem setting of Section 2.1: given ``P`` historical steps,
+predict either the next ``Q`` steps (multi-step, Eq. 1) or the ``Q``-th
+future step (single-step, Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .datasets import CTSData
+
+
+@dataclass(frozen=True)
+class WindowSet:
+    """Supervised forecasting samples: ``x (num, P, N, F)``, ``y (num, H, N, F)``.
+
+    ``H`` is ``Q`` for multi-step forecasting and 1 for single-step.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must contain the same number of samples")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def horizon(self) -> int:
+        return self.y.shape[1]
+
+
+def make_windows(
+    data: CTSData, p: int, q: int, single_step: bool = False, stride: int = 1
+) -> WindowSet:
+    """Cut ``data`` into supervised (history, future) window pairs."""
+    if p <= 0 or q <= 0:
+        raise ValueError(f"P and Q must be positive, got P={p}, Q={q}")
+    span = p + q
+    total = data.n_steps
+    if total < span:
+        raise ValueError(
+            f"dataset {data.name} has {total} steps, needs at least {span} for "
+            f"P={p}, Q={q}"
+        )
+    values = np.transpose(data.values, (1, 0, 2))  # (T, N, F)
+    starts = range(0, total - span + 1, stride)
+    xs = np.stack([values[s : s + p] for s in starts])
+    if single_step:
+        ys = np.stack([values[s + span - 1 : s + span] for s in starts])
+    else:
+        ys = np.stack([values[s + p : s + span] for s in starts])
+    return WindowSet(x=xs, y=ys)
+
+
+def split_windows(
+    windows: WindowSet, ratio: tuple[int, int, int]
+) -> tuple[WindowSet, WindowSet, WindowSet]:
+    """Chronological train/val/test split with the paper's ratios (Table 3)."""
+    total = len(windows)
+    weight = sum(ratio)
+    train_end = total * ratio[0] // weight
+    val_end = total * (ratio[0] + ratio[1]) // weight
+    slices = (slice(0, train_end), slice(train_end, val_end), slice(val_end, total))
+    parts = tuple(WindowSet(windows.x[s], windows.y[s]) for s in slices)
+    if any(len(part) == 0 for part in parts):
+        raise ValueError(
+            f"split ratio {ratio} leaves an empty partition for {total} windows"
+        )
+    return parts
+
+
+def iterate_batches(
+    windows: WindowSet,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x, y)`` mini-batches; shuffled when ``rng`` is given."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(windows))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        index = order[start : start + batch_size]
+        yield windows.x[index], windows.y[index]

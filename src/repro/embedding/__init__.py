@@ -1,0 +1,29 @@
+"""Task embedding: TS2Vec preliminary embeddings + Set-Transformer pooling."""
+
+from .set_transformer import MAB, PMA, SAB, SetPool
+from .task_encoder import (
+    MeanPoolTaskEncoder,
+    MLPEmbedder,
+    PreliminaryEmbedder,
+    TaskEncoder,
+    build_preliminary_embedder,
+    preliminary_task_embedding,
+)
+from .ts2vec import TS2Vec, TS2VecConfig, TS2VecEncoder, hierarchical_contrastive_loss
+
+__all__ = [
+    "MAB",
+    "PMA",
+    "SAB",
+    "SetPool",
+    "MeanPoolTaskEncoder",
+    "MLPEmbedder",
+    "PreliminaryEmbedder",
+    "TaskEncoder",
+    "build_preliminary_embedder",
+    "preliminary_task_embedding",
+    "TS2Vec",
+    "TS2VecConfig",
+    "TS2VecEncoder",
+    "hierarchical_contrastive_loss",
+]

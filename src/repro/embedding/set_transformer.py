@@ -1,0 +1,89 @@
+"""Set-Transformer blocks (Lee et al., ICML 2019).
+
+The task embedding learning module stacks two of these attention-based
+pooling layers — *IntraSetPool* over the time axis of each window and
+*InterSetPool* over the set of windows (paper Eqs. 11–12).  Each layer is a
+self-attention block (SAB) followed by pooling-by-multihead-attention (PMA)
+with a learned seed vector, so the pooling itself is parameterized and
+permutation-invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..nn import init
+from ..nn.attention import MultiHeadAttention
+from ..nn.linear import Linear
+from ..nn.module import Module, Parameter
+from ..nn.norm import LayerNorm
+
+
+class MAB(Module):
+    """Multihead Attention Block: ``MAB(X, Y) = LN(H + FF(H))``, H = LN(X + Att(X, Y))."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.attention = MultiHeadAttention(dim, num_heads=num_heads, rng=rng)
+        self.ff = Linear(dim, dim, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+
+    def forward(self, x: Tensor, y: Tensor) -> Tensor:
+        hidden = self.norm1(x + self.attention(x, y, y))
+        return self.norm2(hidden + self.ff(hidden).relu())
+
+
+class SAB(Module):
+    """Set Attention Block: self-attention among set elements."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.mab = MAB(dim, num_heads, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.mab(x, x)
+
+
+class PMA(Module):
+    """Pooling by Multihead Attention with ``k`` learned seed vectors."""
+
+    def __init__(
+        self, dim: int, num_heads: int, num_seeds: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.seed = Parameter(init.xavier_uniform(rng, (num_seeds, dim)))
+        self.mab = MAB(dim, num_heads, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        seeds = concat([self.seed.reshape(1, *self.seed.shape)] * batch, axis=0)
+        return self.mab(seeds, x)
+
+
+class SetPool(Module):
+    """One Set-Transformer pooling layer: project -> SAB -> PMA -> vector.
+
+    Maps a set ``(batch, set_size, in_dim)`` to one vector ``(batch, out_dim)``
+    per batch element, invariant to the ordering of set elements.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_heads: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        heads = num_heads if out_dim % num_heads == 0 else 1
+        self.project = Linear(in_dim, out_dim, rng=rng)
+        self.sab = SAB(out_dim, heads, rng)
+        self.pma = PMA(out_dim, heads, num_seeds=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        projected = self.project(x)
+        pooled = self.pma(self.sab(projected))  # (batch, 1, out_dim)
+        return pooled.reshape(pooled.shape[0], pooled.shape[2])

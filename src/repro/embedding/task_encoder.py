@@ -1,0 +1,124 @@
+"""Task embedding learning module (paper Section 3.2.2, Figure 4).
+
+Pipeline for embedding a task ``T = (D, P, Q)``:
+
+1. cut ``D`` into S = P + Q windows ``{D_i}`` and embed them with a
+   *preliminary embedder* (TS2Vec, or an MLP for the ablation) — Eq. 9,
+2. average over the N series — Eq. 10,
+3. **IntraSetPool**: pool each window's S time steps to one vector — Eq. 11,
+4. **InterSetPool**: pool the set of window vectors into the final task
+   embedding ``E'`` — Eq. 12.
+
+Steps 3–4 are trained end-to-end with the T-AHC so the embedding space is
+*performance-ranking aware*; steps 1–2 are parameter-free at T-AHC training
+time and may be precomputed per task.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+from ..nn.linear import MLP
+from ..nn.module import Module
+from ..utils.seeding import derive_rng
+from .set_transformer import SetPool
+from .ts2vec import TS2Vec, TS2VecConfig
+
+
+class PreliminaryEmbedder(Protocol):
+    """Anything that maps task windows (num, N, S, F) -> (num, N, S, F')."""
+
+    output_dim: int
+
+    def encode_windows(self, windows: np.ndarray) -> np.ndarray: ...
+
+
+class MLPEmbedder:
+    """The "w/o TS2Vec" ablation: a per-timestep MLP replaces TS2Vec.
+
+    It has the same interface and output width but ignores temporal context,
+    which is exactly the deficiency the ablation exposes.
+    """
+
+    def __init__(self, input_dim: int, output_dim: int = 16, seed: int = 0) -> None:
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self._mlp = MLP([input_dim, output_dim, output_dim], rng=derive_rng(seed, "mlp-embed"))
+
+    def fit(self, series: np.ndarray) -> list[float]:
+        """No self-supervised stage; kept for interface parity."""
+        return []
+
+    def encode_windows(self, windows: np.ndarray) -> np.ndarray:
+        self._mlp.eval()
+        with no_grad():
+            out = self._mlp(Tensor(windows.astype(np.float32))).numpy()
+        return out
+
+
+def preliminary_task_embedding(
+    embedder: PreliminaryEmbedder, windows: np.ndarray
+) -> np.ndarray:
+    """Eqs. 9–10: embed windows and average over the N series.
+
+    ``windows``: (num, N, S, F) -> returns (num, S, F').
+    """
+    encoded = embedder.encode_windows(windows)
+    return encoded.mean(axis=1)
+
+
+class TaskEncoder(Module):
+    """The trainable two-stacked Set-Transformer head (Eqs. 11–12)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        intra_dim: int = 32,
+        output_dim: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.output_dim = output_dim
+        rng = derive_rng(seed, "task-encoder")
+        self.intra = SetPool(input_dim, intra_dim, rng=rng)  # over time steps
+        self.inter = SetPool(intra_dim, output_dim, rng=rng)  # over windows
+
+    def forward(self, preliminary: np.ndarray | Tensor) -> Tensor:
+        """Encode one task's preliminary embedding (num_windows, S, F') -> (F2,)."""
+        windows = preliminary if isinstance(preliminary, Tensor) else Tensor(preliminary)
+        per_window = self.intra(windows)  # (num_windows, F1)
+        pooled = self.inter(per_window.reshape(1, *per_window.shape))  # (1, F2)
+        return pooled.reshape(self.output_dim)
+
+
+class MeanPoolTaskEncoder(Module):
+    """The "w/o Set-Transformer" ablation: plain mean pooling + projection."""
+
+    def __init__(self, input_dim: int, output_dim: int = 16, seed: int = 0) -> None:
+        super().__init__()
+        self.output_dim = output_dim
+        self.project = MLP([input_dim, output_dim], rng=derive_rng(seed, "meanpool"))
+
+    def forward(self, preliminary: np.ndarray | Tensor) -> Tensor:
+        windows = preliminary if isinstance(preliminary, Tensor) else Tensor(preliminary)
+        pooled = windows.mean(axis=0).mean(axis=0)  # (F',)
+        return self.project(pooled.reshape(1, -1)).reshape(self.output_dim)
+
+
+def build_preliminary_embedder(
+    kind: str,
+    input_dim: int,
+    output_dim: int = 16,
+    seed: int = 0,
+    ts2vec_config: TS2VecConfig | None = None,
+) -> PreliminaryEmbedder:
+    """Factory for the preliminary embedding stage: ``"ts2vec"`` or ``"mlp"``."""
+    if kind == "ts2vec":
+        config = ts2vec_config or TS2VecConfig(output_dim=output_dim)
+        return TS2Vec(input_dim, config=config, seed=seed)
+    if kind == "mlp":
+        return MLPEmbedder(input_dim, output_dim=output_dim, seed=seed)
+    raise ValueError(f"unknown preliminary embedder {kind!r}")

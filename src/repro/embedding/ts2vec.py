@@ -1,0 +1,232 @@
+"""TS2Vec: universal time series representations via hierarchical contrastive
+learning (Yue et al., AAAI 2022), used here as the preliminary task embedder
+of Section 3.2.2.
+
+The encoder is an input projection followed by a stack of dilated 1-D
+convolution blocks with GELU activations and residual connections.  Training
+contrasts two randomly cropped, timestamp-masked *context views* of the same
+series, with both **temporal** and **instance-wise** contrastive terms applied
+hierarchically (losses are re-computed after each temporal max-pooling level).
+
+The class also provides :meth:`encode_windows`, the interface task encoders
+consume: a batch of task windows ``(num, N, S, F)`` mapped to per-timestep
+embeddings ``(num, N, S, F')``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import Tensor, amax, log_softmax, no_grad
+from ..nn.conv import Conv1d
+from ..nn.linear import Linear
+from ..nn.module import Module, ModuleList
+from ..optim import Adam
+from ..utils.seeding import derive_rng
+
+
+class DilatedConvBlock(Module):
+    """Residual block: GELU -> dilated conv -> GELU -> dilated conv."""
+
+    def __init__(self, channels: int, dilation: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv1 = Conv1d(channels, channels, kernel_size=3, dilation=dilation, rng=rng)
+        self.conv2 = Conv1d(channels, channels, kernel_size=3, dilation=dilation, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        from ..autodiff import gelu
+
+        hidden = self.conv1(gelu(x))
+        return x + self.conv2(gelu(hidden))
+
+
+class TS2VecEncoder(Module):
+    """Maps ``(B, S, F)`` series to per-timestep representations ``(B, S, F')``."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 16,
+        output_dim: int = 16,
+        depth: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_proj = Linear(input_dim, hidden_dim, rng=rng)
+        self.blocks = ModuleList(
+            DilatedConvBlock(hidden_dim, dilation=2**i, rng=rng) for i in range(depth)
+        )
+        self.output_proj = Linear(hidden_dim, output_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.input_proj(x).transpose(0, 2, 1)  # (B, C, S)
+        for block in self.blocks:
+            hidden = block(hidden)
+        return self.output_proj(hidden.transpose(0, 2, 1))  # (B, S, F')
+
+
+def _temporal_contrast(z1: Tensor, z2: Tensor) -> Tensor:
+    """Contrast timestamps within each instance (TS2Vec Eq. 2)."""
+    batch, time, _ = z1.shape
+    if time <= 1:
+        return Tensor(np.zeros(()))
+    from ..autodiff import concat, matmul
+
+    z = concat([z1, z2], axis=1)  # (B, 2T, C)
+    sim = matmul(z, z.transpose(0, 2, 1))  # (B, 2T, 2T)
+    # Remove self-similarity from the softmax by masking the diagonal.
+    eye = np.eye(2 * time, dtype=np.float32) * 1e9
+    logits = log_softmax(sim - Tensor(eye[None]), axis=-1)
+    # Positive pairs: (t, t + T) and (t + T, t).
+    index_a = np.arange(time)
+    total = logits[:, index_a, index_a + time].sum() + logits[:, index_a + time, index_a].sum()
+    return -total / (2.0 * batch * time)
+
+
+def _instance_contrast(z1: Tensor, z2: Tensor) -> Tensor:
+    """Contrast instances at each timestamp (TS2Vec Eq. 3)."""
+    batch, time, _ = z1.shape
+    if batch <= 1:
+        return Tensor(np.zeros(()))
+    from ..autodiff import concat, matmul
+
+    z = concat([z1, z2], axis=0)  # (2B, T, C)
+    zt = z.transpose(1, 0, 2)  # (T, 2B, C)
+    sim = matmul(zt, zt.transpose(0, 2, 1))  # (T, 2B, 2B)
+    eye = np.eye(2 * batch, dtype=np.float32) * 1e9
+    logits = log_softmax(sim - Tensor(eye[None]), axis=-1)
+    index_b = np.arange(batch)
+    total = logits[:, index_b, index_b + batch].sum() + logits[:, index_b + batch, index_b].sum()
+    return -total / (2.0 * batch * time)
+
+
+def _max_pool_time(z: Tensor) -> Tensor:
+    """Halve the time axis with kernel-2 max pooling (hierarchy step)."""
+    batch, time, channels = z.shape
+    even = time - (time % 2)
+    trimmed = z[:, :even, :]
+    paired = trimmed.reshape(batch, even // 2, 2, channels)
+    return amax(paired, axis=2)
+
+
+def hierarchical_contrastive_loss(z1: Tensor, z2: Tensor) -> Tensor:
+    """TS2Vec's hierarchical loss: temporal + instance terms at every scale."""
+    loss = _temporal_contrast(z1, z2) + _instance_contrast(z1, z2)
+    levels = 1
+    while z1.shape[1] > 1:
+        z1, z2 = _max_pool_time(z1), _max_pool_time(z2)
+        loss = loss + _temporal_contrast(z1, z2) + _instance_contrast(z1, z2)
+        levels += 1
+    return loss / levels
+
+
+@dataclass(frozen=True)
+class TS2VecConfig:
+    hidden_dim: int = 16
+    output_dim: int = 16
+    depth: int = 3
+    lr: float = 1e-3
+    batch_size: int = 8
+    epochs: int = 5
+    mask_rate: float = 0.15
+    min_crop: int = 4
+
+
+class TS2Vec:
+    """Self-supervised preliminary embedder for CTS forecasting tasks."""
+
+    def __init__(self, input_dim: int, config: TS2VecConfig = TS2VecConfig(), seed: int = 0):
+        self.config = config
+        self.input_dim = input_dim
+        self._rng = derive_rng(seed, "ts2vec")
+        self.encoder = TS2VecEncoder(
+            input_dim,
+            hidden_dim=config.hidden_dim,
+            output_dim=config.output_dim,
+            depth=config.depth,
+            rng=derive_rng(seed, "ts2vec-init"),
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self.config.output_dim
+
+    # ------------------------------------------------------------------
+    # Training (contrastive)
+    # ------------------------------------------------------------------
+    def fit(self, series: np.ndarray) -> list[float]:
+        """Contrastively pre-train on ``series`` of shape ``(num, S, F)``.
+
+        Returns the per-epoch loss history.
+        """
+        if series.ndim != 3 or series.shape[-1] != self.input_dim:
+            raise ValueError(
+                f"series must be (num, S, {self.input_dim}), got {series.shape}"
+            )
+        config = self.config
+        optimizer = Adam(self.encoder.parameters(), lr=config.lr)
+        history: list[float] = []
+        for _ in range(config.epochs):
+            order = self._rng.permutation(len(series))
+            epoch_losses = []
+            for start in range(0, len(order), config.batch_size):
+                batch = series[order[start : start + config.batch_size]]
+                if len(batch) < 2:
+                    continue
+                loss = self._contrastive_step(batch)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            history.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+        return history
+
+    def _contrastive_step(self, batch: np.ndarray) -> Tensor:
+        time = batch.shape[1]
+        crop = int(
+            self._rng.integers(min(self.config.min_crop, time), time + 1)
+        )
+        # Two overlapping crops of the same length; the overlap is where the
+        # two context views must agree.
+        max_offset = time - crop
+        o1 = int(self._rng.integers(0, max_offset + 1))
+        o2 = int(self._rng.integers(0, max_offset + 1))
+        view1 = self._mask(batch[:, o1 : o1 + crop])
+        view2 = self._mask(batch[:, o2 : o2 + crop])
+        z1 = self.encoder(Tensor(view1))
+        z2 = self.encoder(Tensor(view2))
+        # Align the overlapping region of the two crops.
+        lo, hi = max(o1, o2), min(o1, o2) + crop
+        if hi - lo < 1:
+            return hierarchical_contrastive_loss(z1, z2)
+        z1_overlap = z1[:, lo - o1 : hi - o1, :]
+        z2_overlap = z2[:, lo - o2 : hi - o2, :]
+        return hierarchical_contrastive_loss(z1_overlap, z2_overlap)
+
+    def _mask(self, values: np.ndarray) -> np.ndarray:
+        """Timestamp masking augmentation."""
+        masked = values.copy()
+        drop = self._rng.random(values.shape[:2]) < self.config.mask_rate
+        masked[drop] = 0.0
+        return masked
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def encode(self, series: np.ndarray) -> np.ndarray:
+        """Embed ``(num, S, F)`` series to ``(num, S, F')`` representations."""
+        self.encoder.eval()
+        with no_grad():
+            out = self.encoder(Tensor(series.astype(np.float32))).numpy()
+        self.encoder.train()
+        return out
+
+    def encode_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Embed task windows ``(num, N, S, F)`` to ``(num, N, S, F')`` (Eq. 9)."""
+        num, n_nodes, span, features = windows.shape
+        flat = windows.reshape(num * n_nodes, span, features)
+        encoded = self.encode(flat)
+        return encoded.reshape(num, n_nodes, span, self.output_dim)

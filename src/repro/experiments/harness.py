@@ -1,0 +1,297 @@
+"""Shared experiment harness used by every benchmark.
+
+Responsibilities:
+
+* build source (pre-training) and target (unseen) tasks at a chosen scale,
+* pre-train T-AHC variants — the full framework and the three ablations of
+  Section 4.2.3 — with a pickle-based disk cache so the expensive pre-training
+  runs once per benchmark session,
+* run AutoCTS++ zero-shot searches and baseline trainings under identical
+  budgets.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..comparator import (
+    PretrainConfig,
+    PretrainHistory,
+    TAHC,
+    TaskSampleSet,
+    collect_task_samples,
+    pretrain_tahc,
+)
+from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
+from ..data.datasets import get_dataset, get_spec
+from ..baselines.registry import build_baseline
+from ..embedding.task_encoder import (
+    MeanPoolTaskEncoder,
+    PreliminaryEmbedder,
+    TaskEncoder,
+    build_preliminary_embedder,
+)
+from ..embedding.ts2vec import TS2Vec, TS2VecConfig
+from ..metrics import ForecastScores
+from ..search.evolutionary import EvolutionConfig
+from ..search.zero_shot import ZeroShotConfig, ZeroShotResult, ZeroShotSearch
+from ..space.sampling import JointSearchSpace
+from ..tasks.enrichment import EnrichmentConfig, enrich_tasks
+from ..tasks.proxy import ProxyConfig
+from ..tasks.task import Task
+from .config import ExperimentScale, Setting
+
+VARIANTS = ("full", "wo_ts2vec", "wo_set_transformer", "wo_shared")
+
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+
+
+# ---------------------------------------------------------------------------
+# Task construction
+# ---------------------------------------------------------------------------
+
+
+def target_task(
+    scale: ExperimentScale, dataset_name: str, setting: Setting, seed: int = 0
+) -> Task:
+    """The unseen task for one (target dataset, forecasting setting) cell."""
+    data = get_dataset(dataset_name, seed=seed)
+    spec = get_spec(dataset_name)
+    ratio = (
+        spec.split_ratio_single if setting.single_step else spec.split_ratio_multi
+    )
+    return Task(
+        data=data,
+        p=setting.p,
+        q=setting.q,
+        single_step=setting.single_step,
+        split_ratio=ratio,
+        max_train_windows=scale.max_train_windows,
+    )
+
+
+def source_tasks(scale: ExperimentScale, seed: int = 0) -> list[Task]:
+    """Enriched pre-training tasks from the source datasets (Fig. 5)."""
+    datasets = [get_dataset(name, seed=seed) for name in scale.source_datasets]
+    tasks = enrich_tasks(
+        datasets,
+        list(scale.pretrain_settings),
+        n_subsets=scale.n_pretrain_subsets,
+        seed=seed,
+        config=EnrichmentConfig(min_windows=12),
+    )
+    return [
+        Task(
+            data=t.data,
+            p=t.p,
+            q=t.q,
+            single_step=t.single_step,
+            max_train_windows=scale.max_train_windows,
+        )
+        for t in tasks
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Pre-training variants (full + ablations)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PretrainedArtifacts:
+    """Everything a zero-shot searcher needs, pickleable for caching."""
+
+    variant: str
+    model: TAHC
+    embedder: PreliminaryEmbedder
+    space: JointSearchSpace
+    sample_sets: list[TaskSampleSet]
+    history: PretrainHistory
+
+
+def _fit_embedder(embedder: PreliminaryEmbedder, tasks: list[Task]) -> None:
+    """Self-supervised TS2Vec stage over source-task series (no-op for MLP)."""
+    if not isinstance(embedder, TS2Vec):
+        return
+    span = min(task.window_span for task in tasks)
+    segments = []
+    for task in tasks:
+        windows = task.embedding_windows(max_windows=2)  # (num, N, S, F)
+        clipped = windows[:, :, :span, :]
+        segments.append(clipped.reshape(-1, span, windows.shape[-1]))
+    series = np.concatenate(segments, axis=0)
+    embedder.fit(series.astype(np.float32))
+
+
+def _build_variant_model(scale: ExperimentScale, variant: str, seed: int) -> TAHC:
+    task_encoder = None
+    if variant == "wo_set_transformer":
+        task_encoder = MeanPoolTaskEncoder(
+            input_dim=scale.preliminary_dim, output_dim=16, seed=seed
+        )
+    else:
+        task_encoder = TaskEncoder(
+            input_dim=scale.preliminary_dim, intra_dim=16, output_dim=16, seed=seed
+        )
+    return TAHC(
+        num_operator_types=5,
+        embed_dim=32,
+        gin_layers=3,
+        hidden_dim=32,
+        task_encoder=task_encoder,
+        preliminary_dim=scale.preliminary_dim,
+        task_embed_dim=16,
+        seed=seed,
+    )
+
+
+def _pretrain_config(scale: ExperimentScale, variant: str, seed: int) -> PretrainConfig:
+    shared = scale.shared_samples
+    random = scale.random_samples
+    if variant == "wo_shared":
+        shared, random = 0, scale.shared_samples + scale.random_samples
+    return PretrainConfig(
+        shared_samples=shared,
+        random_samples=random,
+        epochs=scale.pretrain_epochs,
+        pairs_per_task=scale.pretrain_pairs_per_task,
+        seed=seed,
+        proxy=ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size, seed=seed),
+    )
+
+
+def pretrain_variant(
+    scale: ExperimentScale,
+    variant: str = "full",
+    seed: int = 0,
+    cache_dir: Path | None = DEFAULT_CACHE_DIR,
+) -> PretrainedArtifacts:
+    """Pre-train (or load from cache) a T-AHC variant at the given scale."""
+    if variant not in VARIANTS:
+        raise KeyError(f"unknown variant {variant!r}; known: {VARIANTS}")
+    cache_path = None
+    if cache_dir is not None:
+        # The key carries every knob that shapes the pre-trained artifact so
+        # editing the scale invalidates stale caches.
+        fingerprint = (
+            f"{scale.n_pretrain_subsets}-{scale.shared_samples}-"
+            f"{scale.random_samples}-{scale.proxy_epochs}-{scale.pretrain_epochs}-"
+            f"{scale.pretrain_pairs_per_task}-{scale.preliminary_dim}"
+        )
+        cache_path = (
+            Path(cache_dir)
+            / f"tahc-{scale.name}-{fingerprint}-{variant}-seed{seed}.pkl"
+        )
+        if cache_path.exists():
+            with open(cache_path, "rb") as handle:
+                return pickle.load(handle)
+
+    embedder_kind = "mlp" if variant == "wo_ts2vec" else "ts2vec"
+    embedder = build_preliminary_embedder(
+        embedder_kind,
+        input_dim=1,
+        output_dim=scale.preliminary_dim,
+        seed=seed,
+        ts2vec_config=TS2VecConfig(
+            hidden_dim=scale.preliminary_dim,
+            output_dim=scale.preliminary_dim,
+            depth=2,
+            epochs=2,
+        ),
+    )
+    tasks = source_tasks(scale, seed=seed)
+    _fit_embedder(embedder, tasks)
+
+    space = JointSearchSpace(hyper_space=scale.hyper_space)
+    config = _pretrain_config(scale, variant, seed)
+    sample_sets = collect_task_samples(tasks, space, embedder, config)
+    model = _build_variant_model(scale, variant, seed)
+    history = pretrain_tahc(model, sample_sets, config)
+
+    artifacts = PretrainedArtifacts(
+        variant=variant,
+        model=model,
+        embedder=embedder,
+        space=space,
+        sample_sets=sample_sets,
+        history=history,
+    )
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(cache_path, "wb") as handle:
+            pickle.dump(artifacts, handle)
+    return artifacts
+
+
+# ---------------------------------------------------------------------------
+# Running searches and baselines
+# ---------------------------------------------------------------------------
+
+
+def make_searcher(
+    artifacts: PretrainedArtifacts,
+    scale: ExperimentScale,
+    seed: int = 0,
+    initial_samples: int | None = None,
+    top_k: int | None = None,
+) -> ZeroShotSearch:
+    """Wrap pre-trained artifacts into the Algorithm-2 searcher.
+
+    ``initial_samples`` and ``top_k`` override the scale's defaults — used by
+    the sample-limited sweep (Table 13) and by cheap runtime-focused benches.
+    """
+    evolution = EvolutionConfig(
+        initial_samples=initial_samples or scale.initial_samples,
+        population_size=scale.population_size,
+        generations=scale.generations,
+        offspring_per_generation=scale.population_size,
+        top_k=top_k or scale.top_k,
+    )
+    config = ZeroShotConfig(
+        evolution=evolution,
+        final_train_epochs=scale.final_train_epochs,
+        batch_size=scale.batch_size,
+        seed=seed,
+        embedding_windows=scale.embedding_windows,
+    )
+    return ZeroShotSearch(artifacts.model, artifacts.embedder, artifacts.space, config)
+
+
+def run_zero_shot(
+    artifacts: PretrainedArtifacts,
+    task: Task,
+    scale: ExperimentScale,
+    seed: int = 0,
+    initial_samples: int | None = None,
+    top_k: int | None = None,
+) -> ZeroShotResult:
+    searcher = make_searcher(artifacts, scale, seed, initial_samples, top_k)
+    return searcher.search(task)
+
+
+def run_baseline(
+    name: str, task: Task, scale: ExperimentScale, seed: int = 0
+) -> ForecastScores:
+    """Train baseline ``name`` on ``task`` and score it on the test split."""
+    prepared = task.prepared
+    model = build_baseline(
+        name, task, hidden_dim=16, hyper_space=scale.hyper_space, seed=seed
+    )
+    train_forecaster(
+        model,
+        prepared.train,
+        prepared.val,
+        TrainConfig(
+            epochs=scale.baseline_train_epochs,
+            batch_size=scale.batch_size,
+            patience=max(2, scale.baseline_train_epochs),
+            seed=seed,
+        ),
+    )
+    return evaluate_forecaster(
+        model, prepared.test, scale.batch_size, inverse=prepared.inverse
+    )

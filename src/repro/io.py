@@ -1,0 +1,71 @@
+"""Persistence for searched models.
+
+A searched forecasting model is fully described by (i) its arch-hyper, (ii)
+the task dimensions it was built for, and (iii) its trained weights.  These
+helpers save all three to a directory (arch-hyper + dimensions as JSON,
+weights as ``.npz``) and rebuild the model on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .core.model import CTSForecaster
+from .space.archhyper import ArchHyper
+
+_META_FILE = "model.json"
+_WEIGHTS_FILE = "weights.npz"
+FORMAT_VERSION = 1
+
+
+def save_forecaster(model: CTSForecaster, directory: str | Path) -> Path:
+    """Serialize ``model`` (definition + weights) into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "arch_hyper": model.arch_hyper.to_dict(),
+        "n_nodes": model.n_nodes,
+        "n_features": model.n_features,
+        "horizon": model.horizon,
+    }
+    with open(directory / _META_FILE, "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+    state = model.state_dict()
+    np.savez(directory / _WEIGHTS_FILE, **state)
+    if model.supports:
+        np.savez(directory / "supports.npz", *model.supports)
+    return directory
+
+
+def load_forecaster(directory: str | Path) -> CTSForecaster:
+    """Rebuild a forecaster saved with :func:`save_forecaster`."""
+    directory = Path(directory)
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no saved model at {directory}")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {meta.get('format_version')!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    supports = None
+    supports_path = directory / "supports.npz"
+    if supports_path.exists():
+        with np.load(supports_path) as data:
+            supports = [data[key] for key in data.files]
+    model = CTSForecaster(
+        ArchHyper.from_dict(meta["arch_hyper"]),
+        n_nodes=meta["n_nodes"],
+        n_features=meta["n_features"],
+        horizon=meta["horizon"],
+        supports=supports,
+    )
+    with np.load(directory / _WEIGHTS_FILE) as data:
+        model.load_state_dict({key: data[key] for key in data.files})
+    return model

@@ -1,0 +1,30 @@
+"""Forecasting and ranking metrics."""
+
+from .forecasting import (
+    ForecastScores,
+    corr,
+    evaluate_forecast,
+    mae,
+    mape,
+    masked_mae,
+    masked_rmse,
+    rmse,
+    rrse,
+)
+from .ranking import kendall_tau, pairwise_accuracy, spearman, top_k_regret
+
+__all__ = [
+    "ForecastScores",
+    "corr",
+    "evaluate_forecast",
+    "mae",
+    "mape",
+    "masked_mae",
+    "masked_rmse",
+    "rmse",
+    "rrse",
+    "kendall_tau",
+    "pairwise_accuracy",
+    "spearman",
+    "top_k_regret",
+]

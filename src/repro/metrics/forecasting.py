@@ -1,0 +1,110 @@
+"""Forecasting accuracy metrics (Section 4.1.2).
+
+Multi-step forecasting is scored with MAE, RMSE, and MAPE; single-step
+forecasting with RRSE and CORR.  MAPE follows common CTS practice by masking
+near-zero targets, which would otherwise blow the metric up on demand data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, threshold: float = 1e-1) -> float:
+    """Mean absolute percentage error, masking targets below ``threshold``."""
+    mask = np.abs(target) > threshold
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs((prediction[mask] - target[mask]) / target[mask])))
+
+
+def rrse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root relative squared error: RMSE normalized by target deviation."""
+    denominator = np.sqrt(np.sum((target - target.mean()) ** 2))
+    if denominator == 0:
+        return 0.0
+    return float(np.sqrt(np.sum((prediction - target) ** 2)) / denominator)
+
+
+def corr(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Empirical correlation coefficient averaged over series.
+
+    Inputs are ``(num_samples, ..., N, F)``; the correlation is computed per
+    series (over samples) and averaged, matching LSTNet's protocol.
+    """
+    pred = prediction.reshape(len(prediction), -1)
+    targ = target.reshape(len(target), -1)
+    pred_c = pred - pred.mean(axis=0)
+    targ_c = targ - targ.mean(axis=0)
+    numerator = (pred_c * targ_c).sum(axis=0)
+    denominator = np.sqrt((pred_c**2).sum(axis=0) * (targ_c**2).sum(axis=0))
+    valid = denominator > 1e-8
+    if not valid.any():
+        return 0.0
+    return float((numerator[valid] / denominator[valid]).mean())
+
+
+def masked_mae(
+    prediction: np.ndarray, target: np.ndarray, null_value: float = 0.0
+) -> float:
+    """MAE over positions where the target is not ``null_value``.
+
+    Traffic datasets mark missing sensor readings with zeros; the CTS
+    literature (DCRNN onward) excludes them from evaluation.
+    """
+    mask = target != null_value
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs(prediction[mask] - target[mask])))
+
+
+def masked_rmse(
+    prediction: np.ndarray, target: np.ndarray, null_value: float = 0.0
+) -> float:
+    """RMSE over positions where the target is not ``null_value``."""
+    mask = target != null_value
+    if not mask.any():
+        return 0.0
+    return float(np.sqrt(np.mean((prediction[mask] - target[mask]) ** 2)))
+
+
+@dataclass(frozen=True)
+class ForecastScores:
+    """Bundle of every metric for one evaluation run."""
+
+    mae: float
+    rmse: float
+    mape: float
+    rrse: float
+    corr: float
+
+    def primary(self, single_step: bool = False) -> float:
+        """The headline metric: MAE (multi-step) or RRSE (single-step)."""
+        return self.rrse if single_step else self.mae
+
+
+def evaluate_forecast(prediction: np.ndarray, target: np.ndarray) -> ForecastScores:
+    """Compute every forecasting metric at once."""
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction {prediction.shape} and target {target.shape} differ"
+        )
+    return ForecastScores(
+        mae=mae(prediction, target),
+        rmse=rmse(prediction, target),
+        mape=mape(prediction, target),
+        rrse=rrse(prediction, target),
+        corr=corr(prediction, target),
+    )

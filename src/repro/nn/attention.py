@@ -1,0 +1,147 @@
+"""Attention layers.
+
+Provides standard multi-head self/cross attention over ``(B, L, D)`` inputs
+and the Informer-style *ProbSparse* variant, which restricts full attention
+to the top-``u`` most "active" queries (measured by the max-minus-mean score
+sparsity heuristic of Zhou et al., AAAI 2021) and fills the remaining rows
+with the mean of the values.  ProbSparse is what the paper's INF-T and INF-S
+operators build on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, matmul, no_grad, softmax
+from . import init
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module
+
+
+def scaled_dot_product_attention(
+    q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None
+) -> Tensor:
+    """Attention over the second-to-last axis; shapes (..., L, D)."""
+    scale = 1.0 / math.sqrt(q.shape[-1])
+    scores = matmul(q, k.transpose(*range(k.ndim - 2), k.ndim - 1, k.ndim - 2)) * scale
+    if mask is not None:
+        scores = scores + np.where(mask, 0.0, -1e9).astype(np.float32)
+    return matmul(softmax(scores, axis=-1), v)
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention over (B, L, D) tensors."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 4,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, seed=int(rng.integers(2**31)))
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, _, length, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        attended = scaled_dot_product_attention(q, k, v, mask=mask)
+        return self.dropout(self.out_proj(self._merge_heads(attended)))
+
+
+class ProbSparseAttention(Module):
+    """Informer's ProbSparse self-attention over (B, L, D) tensors.
+
+    Only the ``u = ceil(factor * ln L)`` queries with the largest sparsity
+    measurement ``max_j(score_ij) - mean_j(score_ij)`` attend over all keys;
+    the remaining rows output the mean of the values, matching the Informer
+    formulation.  For short sequences (``u >= L``) this reduces to full
+    attention, which keeps tiny CPU-scale models exact.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 4,
+        factor: float = 2.0,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.factor = factor
+        self.inner = MultiHeadAttention(dim, num_heads, dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        u = max(1, int(math.ceil(self.factor * math.log(max(length, 2)))))
+        if u >= length:
+            return self.inner(x)
+        # Score query activity on detached data; selection is not differentiable.
+        with no_grad():
+            q = self.inner._split_heads(self.inner.q_proj(x.detach()))
+            k = self.inner._split_heads(self.inner.k_proj(x.detach()))
+            scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2))
+            sparsity = scores.max(axis=-1) - scores.mean(axis=-1)  # (B, H, L)
+            activity = sparsity.mean(axis=1)  # (B, L): head-averaged
+        # Use one shared top-u set per batch element (batch-major gather).
+        top = np.argpartition(-activity, u - 1, axis=-1)[:, :u]  # (B, u)
+        top = np.sort(top, axis=-1)
+        batch_index = np.arange(x.shape[0])[:, None]
+        active = x[batch_index, top]  # (B, u, D)
+        attended_active = self.inner(active, x, x)  # (B, u, D)
+        # Lazy rows: mean of values, the Informer fallback.
+        v = self.inner.v_proj(x)
+        fallback = self.inner.out_proj(v.mean(axis=1, keepdims=True))
+        filler = concat([fallback] * length, axis=1)  # (B, L, D)
+        scatter = np.zeros((x.shape[0], length, 1), dtype=np.float32)
+        scatter[batch_index, top] = 1.0
+        spread = _scatter_rows(attended_active, top, length)
+        return spread * scatter + filler * (1.0 - scatter)
+
+
+def _scatter_rows(values: Tensor, index: np.ndarray, length: int) -> Tensor:
+    """Place rows of ``values`` (B, u, D) at ``index`` (B, u) in (B, L, D)."""
+    from ..autodiff.tensor import make_op
+
+    batch, u, dim = values.shape
+    out = np.zeros((batch, length, dim), dtype=values.data.dtype)
+    batch_index = np.arange(batch)[:, None]
+    out[batch_index, index] = values.data
+
+    def backward(grad):
+        return (grad[batch_index, index],)
+
+    return make_op(out, (values,), backward)

@@ -1,0 +1,162 @@
+"""Convolution layers.
+
+CTS forecasting models in this library follow the Graph WaveNet tensor layout
+``(batch, channels, num_nodes, time)``.  Temporal convolutions therefore use
+kernels of shape ``(1, K)`` with dilation along the time axis and *causal*
+left-padding so that position ``t`` never sees the future.
+
+The convolutions are composed from autodiff primitives (pad, slice, matmul),
+which keeps their backward passes automatically correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, matmul, pad
+from . import init
+from .module import Module, Parameter
+
+
+def _mix_channels(x: Tensor, weight: Tensor) -> Tensor:
+    """Apply a (C_out, C_in) channel mix to ``x`` of shape (B, C_in, N, T)."""
+    moved = x.transpose(0, 2, 3, 1)  # (B, N, T, C_in)
+    mixed = matmul(moved, weight.transpose())  # (B, N, T, C_out)
+    return mixed.transpose(0, 3, 1, 2)
+
+
+def conv2d_1xk(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    dilation: int = 1,
+    causal: bool = True,
+) -> Tensor:
+    """Convolve ``x`` (B, C_in, N, T) with ``weight`` (C_out, C_in, K) along T.
+
+    With ``causal=True`` the output at time ``t`` depends only on inputs at
+    times ``<= t`` and the output length equals the input length.
+    """
+    kernel = weight.shape[-1]
+    receptive = (kernel - 1) * dilation
+    if causal:
+        x = pad(x, ((0, 0), (0, 0), (0, 0), (receptive, 0)))
+    time = x.shape[-1] - receptive
+    out = None
+    for k in range(kernel):
+        start = k * dilation
+        window = x[:, :, :, start : start + time]
+        term = _mix_channels(window, weight[:, :, k])
+        out = term if out is None else out + term
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    return out
+
+
+class CausalConv2d(Module):
+    """Dilated causal temporal convolution over (B, C, N, T) tensors."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (out_channels, in_channels, kernel_size))
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d_1xk(x, self.weight, self.bias, dilation=self.dilation)
+
+
+class PointwiseConv2d(Module):
+    """1x1 convolution: a per-position channel mix over (B, C, N, T)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(init.xavier_uniform(rng, (out_channels, in_channels)))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = _mix_channels(x, self.weight)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        return out
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    dilation: int = 1,
+    padding: str = "same",
+) -> Tensor:
+    """Convolve ``x`` (B, C_in, T) with ``weight`` (C_out, C_in, K) along T.
+
+    ``padding`` is ``"same"`` (centered zero padding) or ``"causal"``.
+    """
+    kernel = weight.shape[-1]
+    receptive = (kernel - 1) * dilation
+    if padding == "causal":
+        left, right = receptive, 0
+    elif padding == "same":
+        left = receptive // 2
+        right = receptive - left
+    else:
+        raise ValueError(f"unknown padding mode: {padding!r}")
+    x = pad(x, ((0, 0), (0, 0), (left, right)))
+    time = x.shape[-1] - receptive
+    out = None
+    for k in range(kernel):
+        start = k * dilation
+        window = x[:, :, start : start + time]  # (B, C_in, T)
+        moved = window.transpose(0, 2, 1)  # (B, T, C_in)
+        term = matmul(moved, weight[:, :, k].transpose()).transpose(0, 2, 1)
+        out = term if out is None else out + term
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1)
+    return out
+
+
+class Conv1d(Module):
+    """Dilated 1-D convolution over (B, C, T) tensors."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        dilation: int = 1,
+        padding: str = "same",
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.padding = padding
+        self.dilation = dilation
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (out_channels, in_channels, kernel_size))
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d(x, self.weight, self.bias, self.dilation, self.padding)

@@ -1,0 +1,28 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, dropout_mask
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode or when ``rate == 0``.
+
+    The layer owns its own ``numpy.random.Generator`` so dropout noise is
+    reproducible under a seed and independent of global random state.
+    """
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        return dropout_mask(x, self.rate, self._rng)

@@ -1,0 +1,62 @@
+"""Fully-connected layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, matmul
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W^T + b`` applied over the last axis of ``x``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, (out_features, in_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = matmul(x, self.weight.transpose())
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between layers."""
+
+    def __init__(
+        self,
+        sizes: list[int],
+        rng: np.random.Generator | None = None,
+        activate_final: bool = False,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        from .module import ModuleList
+
+        self.layers = ModuleList(
+            Linear(sizes[i], sizes[i + 1], rng=rng) for i in range(len(sizes) - 1)
+        )
+        self.activate_final = activate_final
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < last or self.activate_final:
+                x = x.relu()
+        return x

@@ -1,0 +1,47 @@
+"""Loss functions.
+
+The CTS forecasting models train with MAE (the paper's training objective);
+the comparators train with binary cross-entropy on pairwise labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, absolute, as_tensor, clip, log, mean, sigmoid
+
+
+def mae_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error, the paper's forecasting training objective."""
+    target = as_tensor(target)
+    return mean(absolute(prediction - target))
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = prediction - target
+    return mean(diff * diff)
+
+
+def masked_mae_loss(prediction: Tensor, target, null_value: float = 0.0) -> Tensor:
+    """MAE ignoring positions equal to ``null_value`` (missing sensor data)."""
+    target_data = np.asarray(as_tensor(target).data)
+    mask = (target_data != null_value).astype(np.float32)
+    denom = max(float(mask.sum()), 1.0)
+    weighted = absolute(prediction - target) * Tensor(mask)
+    return weighted.sum() / denom
+
+
+def bce_with_logits(logits: Tensor, labels) -> Tensor:
+    """Numerically safe binary cross-entropy on raw logits."""
+    probs = clip(sigmoid(logits), 1e-7, 1.0 - 1e-7)
+    labels = as_tensor(labels)
+    return -mean(labels * log(probs) + (1.0 - labels) * log(1.0 - probs))
+
+
+def hinge_rank_loss(score_a: Tensor, score_b: Tensor, margin: float = 0.1) -> Tensor:
+    """Margin ranking loss used by the ranking-quality ablation."""
+    from ..autodiff import maximum
+
+    return mean(maximum(margin - (score_a - score_b), 0.0))

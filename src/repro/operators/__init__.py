@@ -1,0 +1,22 @@
+"""Candidate S/T-operators for ST-blocks (paper Section 3.1.1)."""
+
+from .base import OperatorContext, STOperator
+from .dgcn import DGCN, graph_propagate
+from .gdcc import GDCC
+from .identity import Identity
+from .informer import InformerSpatial, InformerTemporal
+from .registry import OPERATOR_REGISTRY, build_operator, register_operator
+
+__all__ = [
+    "OperatorContext",
+    "STOperator",
+    "DGCN",
+    "graph_propagate",
+    "GDCC",
+    "Identity",
+    "InformerSpatial",
+    "InformerTemporal",
+    "OPERATOR_REGISTRY",
+    "build_operator",
+    "register_operator",
+]

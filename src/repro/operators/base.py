@@ -1,0 +1,49 @@
+"""Shared infrastructure for candidate S/T-operators.
+
+All operators transform latent tensors of shape ``(batch, H, N, T)`` to the
+same shape, so any DAG wiring of them type-checks.  :class:`OperatorContext`
+packages everything an operator may need at construction time: the graph
+supports for diffusion convolution, the hidden width, the dropout setting,
+and a seeded RNG for weight initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.module import Module
+
+
+@dataclass
+class OperatorContext:
+    """Construction-time context shared by all operators of an ST-block."""
+
+    hidden_dim: int
+    n_nodes: int
+    supports: list[np.ndarray] = field(default_factory=list)
+    dropout_rate: float = 0.0
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim <= 0 or self.n_nodes <= 0:
+            raise ValueError(
+                f"invalid context: hidden_dim={self.hidden_dim}, "
+                f"n_nodes={self.n_nodes}"
+            )
+        for support in self.supports:
+            if support.shape != (self.n_nodes, self.n_nodes):
+                raise ValueError(
+                    f"support shape {support.shape} != ({self.n_nodes}, {self.n_nodes})"
+                )
+
+
+class STOperator(Module):
+    """Base class for S/T-operators; ``name`` identifies the operator type."""
+
+    name: str = "base"
+
+    def __init__(self, context: OperatorContext) -> None:
+        super().__init__()
+        self.context = context

@@ -1,0 +1,18 @@
+"""The identity operator, enabling skip-connections between DAG nodes."""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from .base import OperatorContext, STOperator
+
+
+class Identity(STOperator):
+    """Pass-through operator (the paper's "identity" / skip edge)."""
+
+    name = "skip"
+
+    def __init__(self, context: OperatorContext) -> None:
+        super().__init__(context)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,62 @@
+"""Informer-style attention operators: INF-T (temporal) and INF-S (spatial).
+
+Both wrap ProbSparse self-attention (Zhou et al., AAAI 2021) in a
+pre-LayerNorm transformer block.  INF-T attends along the time axis within
+each series (long-term temporal dependencies); INF-S attends across series
+at each time step (dynamic spatial correlations).
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from ..nn.attention import ProbSparseAttention
+from ..nn.dropout import Dropout
+from ..nn.linear import Linear
+from ..nn.norm import LayerNorm
+from .base import OperatorContext, STOperator
+
+
+class _InformerBlock(STOperator):
+    """Shared attention block; subclasses choose which axis becomes length."""
+
+    def __init__(self, context: OperatorContext, num_heads: int = 2) -> None:
+        super().__init__(context)
+        h = context.hidden_dim
+        heads = num_heads if h % num_heads == 0 else 1
+        rng = context.rng
+        self.attention = ProbSparseAttention(h, num_heads=heads, rng=rng)
+        self.norm1 = LayerNorm(h)
+        self.norm2 = LayerNorm(h)
+        self.ff1 = Linear(h, 2 * h, rng=rng)
+        self.ff2 = Linear(2 * h, h, rng=rng)
+        self.dropout = Dropout(context.dropout_rate, seed=int(rng.integers(2**31)))
+
+    def _attend(self, sequences: Tensor) -> Tensor:
+        """Pre-norm attention + feed-forward over (batch', L, H) sequences."""
+        attended = sequences + self.attention(self.norm1(sequences))
+        ff = self.ff2(self.ff1(self.norm2(attended)).relu())
+        return attended + self.dropout(ff)
+
+
+class InformerTemporal(_InformerBlock):
+    """INF-T: attention over the time axis, per series."""
+
+    name = "inf_t"
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, hidden, n_nodes, time = x.shape
+        sequences = x.transpose(0, 2, 3, 1).reshape(batch * n_nodes, time, hidden)
+        attended = self._attend(sequences)
+        return attended.reshape(batch, n_nodes, time, hidden).transpose(0, 3, 1, 2)
+
+
+class InformerSpatial(_InformerBlock):
+    """INF-S: attention over the series axis, per time step."""
+
+    name = "inf_s"
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, hidden, n_nodes, time = x.shape
+        sequences = x.transpose(0, 3, 2, 1).reshape(batch * time, n_nodes, hidden)
+        attended = self._attend(sequences)
+        return attended.reshape(batch, time, n_nodes, hidden).transpose(0, 3, 2, 1)

@@ -1,0 +1,47 @@
+"""Operator registry mapping search-space names to implementations.
+
+New operators are added exactly as the paper describes (Section 3.1.1):
+register the class here and include its name in the candidate set used when
+sampling arch-hypers; the comparator is then retrained with samples that
+contain the new operator.
+"""
+
+from __future__ import annotations
+
+from .base import OperatorContext, STOperator
+from .dgcn import DGCN
+from .gdcc import GDCC
+from .identity import Identity
+from .informer import InformerSpatial, InformerTemporal
+
+OPERATOR_REGISTRY: dict[str, type[STOperator]] = {
+    GDCC.name: GDCC,
+    InformerTemporal.name: InformerTemporal,
+    DGCN.name: DGCN,
+    InformerSpatial.name: InformerSpatial,
+    Identity.name: Identity,
+}
+
+
+def build_operator(name: str, context: OperatorContext) -> STOperator:
+    """Instantiate the operator registered under ``name``."""
+    if name not in OPERATOR_REGISTRY:
+        raise KeyError(
+            f"unknown operator {name!r}; registered: {sorted(OPERATOR_REGISTRY)}"
+        )
+    return OPERATOR_REGISTRY[name](context)
+
+
+def register_operator(cls: type[STOperator]) -> type[STOperator]:
+    """Register a new operator class (usable as a decorator).
+
+    Registration also teaches the architecture search space to accept the
+    operator's name on DAG edges.
+    """
+    if not cls.name or cls.name == "base":
+        raise ValueError("operator classes must define a unique 'name'")
+    from ..space.arch import register_operator_name
+
+    OPERATOR_REGISTRY[cls.name] = cls
+    register_operator_name(cls.name)
+    return cls

@@ -1,0 +1,6 @@
+"""Optimizers and training utilities."""
+
+from .optimizer import SGD, Adam, Optimizer, clip_grad_norm
+from .schedulers import CosineAnnealingLR, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]

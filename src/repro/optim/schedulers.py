@@ -1,0 +1,44 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizer import Optimizer
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma**decays)
+
+
+class CosineAnnealingLR:
+    """Cosine-anneal the learning rate from the base value to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        fraction = self._epoch / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * fraction))
+        self.optimizer.lr = self.min_lr + (self._base_lr - self.min_lr) * cosine

@@ -1,0 +1,32 @@
+"""Search strategies: evolutionary + Round-Robin + zero-shot (Algorithm 2)."""
+
+from .autocts_plus import AutoCTSPlusConfig, AutoCTSPlusResult, AutoCTSPlusSearch
+from .baselines import SearchTrace, grid_search_hyper, random_search
+from .evolutionary import (
+    CompareFn,
+    EvolutionConfig,
+    EvolutionResult,
+    EvolutionarySearch,
+)
+from .round_robin import round_robin_ranking, round_robin_top_k, win_counts
+from .zero_shot import PhaseTimings, ZeroShotConfig, ZeroShotResult, ZeroShotSearch
+
+__all__ = [
+    "AutoCTSPlusConfig",
+    "AutoCTSPlusResult",
+    "AutoCTSPlusSearch",
+    "SearchTrace",
+    "grid_search_hyper",
+    "random_search",
+    "CompareFn",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "EvolutionarySearch",
+    "round_robin_ranking",
+    "round_robin_top_k",
+    "win_counts",
+    "PhaseTimings",
+    "ZeroShotConfig",
+    "ZeroShotResult",
+    "ZeroShotSearch",
+]

@@ -1,0 +1,170 @@
+"""The fully-supervised AutoCTS+ search pipeline (the SIGMOD 2023 method).
+
+Unlike the zero-shot AutoCTS++ (Algorithm 2), AutoCTS+ searches *per task*:
+
+1. sample M arch-hypers from the joint space and measure each with the
+   early-validation proxy R' (Eq. 22) on the target task,
+2. train a task-specific :class:`~repro.comparator.ahc.AHC` on dynamically
+   generated pairs of the measured samples,
+3. run the comparator-guided evolutionary search and Round-Robin top-K,
+4. fully train the top-K candidates and keep the best on validation.
+
+This is the framework AutoCTS++ generalizes: same joint search space, same
+comparator idea, but the comparator must be re-trained (and samples
+re-collected) for every new task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..comparator.ahc import AHC
+from ..comparator.pairing import dynamic_pairs
+from ..core.model import build_forecaster
+from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
+from ..metrics import ForecastScores
+from ..nn.loss import bce_with_logits
+from ..optim import Adam
+from ..space.archhyper import ArchHyper
+from ..space.encoding import encode_batch
+from ..space.sampling import JointSearchSpace
+from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.task import Task
+from ..utils.seeding import derive_rng
+from .evolutionary import EvolutionConfig, EvolutionarySearch
+
+
+@dataclass(frozen=True)
+class AutoCTSPlusConfig:
+    """Knobs of the fully-supervised pipeline."""
+
+    n_measured_samples: int = 12  # paper: hundreds (GPU-scale)
+    ahc_epochs: int = 40
+    pairs_per_epoch: int = 32
+    ahc_lr: float = 1e-3
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    final_train_epochs: int = 10
+    batch_size: int = 64
+    seed: int = 0
+    proxy: ProxyConfig = field(default_factory=ProxyConfig)
+
+
+@dataclass
+class AutoCTSPlusResult:
+    best: ArchHyper
+    best_scores: ForecastScores
+    top_candidates: list[ArchHyper]
+    measured: list[tuple[ArchHyper, float]]
+    ahc_losses: list[float]
+
+
+class AutoCTSPlusSearch:
+    """Per-task joint architecture-hyperparameter search with an AHC."""
+
+    def __init__(
+        self,
+        space: JointSearchSpace | None = None,
+        config: AutoCTSPlusConfig = AutoCTSPlusConfig(),
+    ) -> None:
+        self.space = space or JointSearchSpace()
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def collect_samples(self, task: Task) -> list[tuple[ArchHyper, float]]:
+        """Stage 1: measure random arch-hypers with the proxy on the task."""
+        rng = derive_rng(self.config.seed, "autocts+-collect")
+        candidates = self.space.sample_batch(self.config.n_measured_samples, rng)
+        return [
+            (ah, measure_arch_hyper(ah, task, self.config.proxy)) for ah in candidates
+        ]
+
+    def train_comparator(
+        self, measured: list[tuple[ArchHyper, float]]
+    ) -> tuple[AHC, list[float]]:
+        """Stage 2: fit a task-specific AHC on dynamically generated pairs."""
+        config = self.config
+        arch_hypers = [ah for ah, _ in measured]
+        scores = np.array([score for _, score in measured])
+        encodings = encode_batch(arch_hypers, self.space.hyper_space)
+        ahc = AHC(embed_dim=32, gin_layers=3, hidden_dim=32, seed=config.seed)
+        optimizer = Adam(ahc.parameters(), lr=config.ahc_lr)
+        rng = derive_rng(config.seed, "autocts+-ahc")
+        losses: list[float] = []
+        for _ in range(config.ahc_epochs):
+            pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
+            index_a = np.array([p.index_a for p in pairs])
+            index_b = np.array([p.index_b for p in pairs])
+            labels = np.array([p.label for p in pairs], dtype=np.float32)
+            logits = ahc(
+                tuple(a[index_a] for a in encodings),
+                tuple(a[index_b] for a in encodings),
+            )
+            loss = bce_with_logits(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        return ahc, losses
+
+    def rank(self, ahc: AHC) -> list[ArchHyper]:
+        """Stage 3: comparator-guided evolutionary search."""
+
+        def compare(candidates: list[ArchHyper]) -> np.ndarray:
+            return ahc.predict_wins(candidates, self.space.hyper_space)
+
+        search = EvolutionarySearch(
+            self.space, compare, self.config.evolution, seed=self.config.seed
+        )
+        return search.run().top_candidates
+
+    def train_final(
+        self, task: Task, candidates: list[ArchHyper]
+    ) -> tuple[ArchHyper, ForecastScores]:
+        """Stage 4: fully train the top-K, keep the validation winner."""
+        config = self.config
+        prepared = task.prepared
+        best_val = float("inf")
+        best: tuple[ArchHyper, ForecastScores] | None = None
+        for candidate in candidates:
+            model = build_forecaster(candidate, task.data, task.horizon, seed=config.seed)
+            train_forecaster(
+                model,
+                prepared.train,
+                prepared.val,
+                TrainConfig(
+                    epochs=config.final_train_epochs,
+                    batch_size=config.batch_size,
+                    patience=max(3, config.final_train_epochs // 3),
+                    seed=config.seed,
+                ),
+            )
+            val = evaluate_forecaster(model, prepared.val, config.batch_size)
+            primary = val.primary(single_step=task.single_step)
+            if primary < best_val:
+                best_val = primary
+                test = evaluate_forecaster(
+                    model, prepared.test, config.batch_size, inverse=prepared.inverse
+                )
+                best = (candidate, test)
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+    def search(self, task: Task) -> AutoCTSPlusResult:
+        measured = self.collect_samples(task)
+        ahc, losses = self.train_comparator(measured)
+        top = self.rank(ahc)
+        best, scores = self.train_final(task, top)
+        return AutoCTSPlusResult(
+            best=best,
+            best_scores=scores,
+            top_candidates=top,
+            measured=measured,
+            ahc_losses=losses,
+        )

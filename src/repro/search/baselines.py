@@ -1,0 +1,67 @@
+"""Non-comparator search baselines: random search and hyperparameter grid search.
+
+* :func:`random_search` — train ``n`` random candidates with the proxy, keep
+  the best; the budget-matched sanity baseline for the EA ablation.
+* :func:`grid_search_hyper` — the paper's treatment of manual baselines under
+  new forecasting settings: grid-search the hidden dimension H and output
+  dimension I (2 x 2 in the paper) around a fixed architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from ..space.archhyper import ArchHyper
+from ..space.sampling import JointSearchSpace
+from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.task import Task
+
+
+@dataclass
+class SearchTrace:
+    candidates: list[ArchHyper]
+    scores: list[float]
+
+    @property
+    def best(self) -> ArchHyper:
+        return self.candidates[int(np.argmin(self.scores))]
+
+    @property
+    def best_score(self) -> float:
+        return float(np.min(self.scores))
+
+
+def random_search(
+    task: Task,
+    space: JointSearchSpace,
+    n_candidates: int,
+    proxy: ProxyConfig = ProxyConfig(),
+    seed: int = 0,
+) -> SearchTrace:
+    """Evaluate ``n_candidates`` random arch-hypers with the proxy."""
+    rng = np.random.default_rng(seed)
+    candidates = space.sample_batch(n_candidates, rng)
+    scores = [measure_arch_hyper(ah, task, proxy) for ah in candidates]
+    return SearchTrace(candidates=candidates, scores=scores)
+
+
+def grid_search_hyper(
+    base: ArchHyper,
+    task: Task,
+    hidden_dims: tuple[int, ...],
+    output_dims: tuple[int, ...],
+    proxy: ProxyConfig = ProxyConfig(),
+) -> SearchTrace:
+    """Sweep H x I around a fixed architecture (the baselines' grid search)."""
+    candidates = [
+        ArchHyper(
+            arch=base.arch,
+            hyper=dc_replace(base.hyper, hidden_dim=h, output_dim=i),
+        )
+        for h in hidden_dims
+        for i in output_dims
+    ]
+    scores = [measure_arch_hyper(ah, task, proxy) for ah in candidates]
+    return SearchTrace(candidates=candidates, scores=scores)

@@ -1,0 +1,105 @@
+"""Evolutionary search over the joint space guided by a comparator.
+
+The heuristic search of Section 3.3: an initial population is the top-``kp``
+of ``K_s`` random samples (ranked with the comparator); each generation
+produces offspring by crossover (probability ``p1``) and mutation
+(probability ``p2``); the comparator removes inferior individuals to keep the
+population at ``kp``; and the final answer is the Round-Robin top-``K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..space.archhyper import ArchHyper
+from ..space.sampling import JointSearchSpace
+from .round_robin import round_robin_top_k
+
+# A compare function maps a candidate list to an (n, n) win matrix.
+CompareFn = Callable[[list[ArchHyper]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """EA knobs; defaults follow the paper (Section 4.1.4)."""
+
+    initial_samples: int = 300  # K_s (paper: 300,000 at GPU scale)
+    population_size: int = 10  # k_p
+    generations: int = 5
+    offspring_per_generation: int = 10
+    crossover_prob: float = 0.8  # p1
+    mutation_prob: float = 0.2  # p2
+    top_k: int = 3  # final Round-Robin selection
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.initial_samples < self.population_size:
+            raise ValueError("initial_samples must be >= population_size")
+        if not (0 <= self.crossover_prob <= 1 and 0 <= self.mutation_prob <= 1):
+            raise ValueError("probabilities must lie in [0, 1]")
+
+
+@dataclass
+class EvolutionResult:
+    top_candidates: list[ArchHyper]
+    final_population: list[ArchHyper]
+    comparisons: int
+
+
+class EvolutionarySearch:
+    """Comparator-guided genetic search over arch-hypers."""
+
+    def __init__(
+        self,
+        space: JointSearchSpace,
+        compare: CompareFn,
+        config: EvolutionConfig = EvolutionConfig(),
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.compare = compare
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self.comparisons = 0
+
+    def _rank(self, candidates: list[ArchHyper], k: int) -> list[ArchHyper]:
+        wins = self.compare(candidates)
+        self.comparisons += len(candidates) * (len(candidates) - 1)
+        return [candidates[i] for i in round_robin_top_k(wins, k)]
+
+    def _offspring(self, population: list[ArchHyper]) -> ArchHyper:
+        rng = self._rng
+        if len(population) >= 2 and rng.random() < self.config.crossover_prob:
+            pair = rng.choice(len(population), size=2, replace=False)
+            child = self.space.crossover(population[pair[0]], population[pair[1]], rng)
+        else:
+            child = population[int(rng.integers(len(population)))]
+        if rng.random() < self.config.mutation_prob:
+            child = self.space.mutate(child, rng)
+        return child
+
+    def run(self, initial: list[ArchHyper] | None = None) -> EvolutionResult:
+        """Run the full search; ``initial`` overrides the K_s random sample."""
+        config = self.config
+        if initial is None:
+            initial = self.space.sample_batch(config.initial_samples, self._rng)
+        population = self._rank(initial, config.population_size)
+        for _ in range(config.generations):
+            seen = {ah.key() for ah in population}
+            offspring: list[ArchHyper] = []
+            while len(offspring) < config.offspring_per_generation:
+                child = self._offspring(population)
+                if child.key() not in seen:
+                    seen.add(child.key())
+                    offspring.append(child)
+            population = self._rank(population + offspring, config.population_size)
+        top = self._rank(population, min(config.top_k, len(population)))
+        return EvolutionResult(
+            top_candidates=top,
+            final_population=population,
+            comparisons=self.comparisons,
+        )

@@ -1,0 +1,175 @@
+"""Zero-shot search for unseen tasks (paper Algorithm 2).
+
+Given a pre-trained T-AHC, a preliminary embedder (TS2Vec), and an unseen
+task ``T = (D, P, Q)``:
+
+1. **Embed** — compute the task's preliminary embedding in minutes,
+2. **Rank** — evolutionary search over the joint space with the T-AHC as the
+   fitness comparator, Round-Robin selecting the top-K candidates,
+3. **Train** — fully train the top-K candidates on the task's training split
+   and return the one with the best validation accuracy.
+
+Each phase is timed separately; Figure 7 of the paper reports exactly these
+three phase runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..comparator.tahc import TAHC
+from ..core.model import build_forecaster
+from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
+from ..embedding.task_encoder import PreliminaryEmbedder, preliminary_task_embedding
+from ..metrics import ForecastScores
+from ..space.archhyper import ArchHyper
+from ..space.sampling import JointSearchSpace
+from ..tasks.task import Task
+from .evolutionary import EvolutionConfig, EvolutionarySearch
+
+
+@dataclass(frozen=True)
+class ZeroShotConfig:
+    """Knobs of Algorithm 2."""
+
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    final_train_epochs: int = 10
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    seed: int = 0
+    embedding_windows: int = 8
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds of the three phases (paper Figure 7)."""
+
+    embedding: float = 0.0
+    ranking: float = 0.0
+    training: float = 0.0
+
+    @property
+    def search(self) -> float:
+        """The paper's 'search time': embedding + ranking."""
+        return self.embedding + self.ranking
+
+
+@dataclass
+class ZeroShotResult:
+    best: ArchHyper
+    best_scores: ForecastScores
+    top_candidates: list[ArchHyper]
+    candidate_scores: list[float]
+    timings: PhaseTimings
+    comparisons: int
+
+
+class ZeroShotSearch:
+    """End-to-end zero-shot model search for unseen CTS forecasting tasks."""
+
+    def __init__(
+        self,
+        model: TAHC,
+        embedder: PreliminaryEmbedder,
+        space: JointSearchSpace | None = None,
+        config: ZeroShotConfig = ZeroShotConfig(),
+    ) -> None:
+        self.model = model
+        self.embedder = embedder
+        self.space = space or JointSearchSpace()
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def embed_task(self, task: Task) -> np.ndarray:
+        """Phase 1: the preliminary embedding of the unseen task."""
+        windows = task.embedding_windows(self.config.embedding_windows)
+        return preliminary_task_embedding(self.embedder, windows)
+
+    def rank(
+        self, preliminary: np.ndarray, initial: list[ArchHyper] | None = None
+    ) -> tuple[list[ArchHyper], int]:
+        """Phase 2: evolutionary ranking under the task-conditioned T-AHC."""
+
+        def compare(candidates: list[ArchHyper]) -> np.ndarray:
+            return self.model.predict_wins(
+                preliminary, candidates, self.space.hyper_space
+            )
+
+        search = EvolutionarySearch(
+            self.space, compare, self.config.evolution, seed=self.config.seed
+        )
+        result = search.run(initial)
+        return result.top_candidates, result.comparisons
+
+    def train_final(
+        self, task: Task, candidates: list[ArchHyper]
+    ) -> tuple[ArchHyper, ForecastScores, list[float]]:
+        """Phase 3: fully train top-K candidates, keep the best on validation."""
+        prepared = task.prepared
+        config = self.config
+        best_val = float("inf")
+        best: tuple[ArchHyper, ForecastScores] | None = None
+        val_scores: list[float] = []
+        for candidate in candidates:
+            model = build_forecaster(
+                candidate, task.data, task.horizon, seed=config.seed
+            )
+            train_forecaster(
+                model,
+                prepared.train,
+                prepared.val,
+                TrainConfig(
+                    epochs=config.final_train_epochs,
+                    batch_size=config.batch_size,
+                    lr=config.lr,
+                    weight_decay=config.weight_decay,
+                    patience=max(3, config.final_train_epochs // 3),
+                    seed=config.seed,
+                ),
+            )
+            val = evaluate_forecaster(model, prepared.val, config.batch_size)
+            val_primary = val.primary(single_step=task.single_step)
+            val_scores.append(val_primary)
+            if val_primary < best_val:
+                best_val = val_primary
+                test = evaluate_forecaster(
+                    model, prepared.test, config.batch_size, inverse=prepared.inverse
+                )
+                best = (candidate, test)
+        assert best is not None, "train_final requires at least one candidate"
+        return best[0], best[1], val_scores
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+    def search(
+        self, task: Task, initial: list[ArchHyper] | None = None
+    ) -> ZeroShotResult:
+        """Run Algorithm 2 end to end on an unseen task."""
+        timings = PhaseTimings()
+        start = time.perf_counter()
+        preliminary = self.embed_task(task)
+        timings.embedding = time.perf_counter() - start
+
+        start = time.perf_counter()
+        top, comparisons = self.rank(preliminary, initial)
+        timings.ranking = time.perf_counter() - start
+
+        start = time.perf_counter()
+        best, scores, candidate_scores = self.train_final(task, top)
+        timings.training = time.perf_counter() - start
+
+        return ZeroShotResult(
+            best=best,
+            best_scores=scores,
+            top_candidates=top,
+            candidate_scores=candidate_scores,
+            timings=timings,
+            comparisons=comparisons,
+        )

@@ -1,0 +1,92 @@
+"""Task-adaptive search-space pruning (the paper's future-work direction).
+
+Section 6 notes that the manually designed joint search space "may miss some
+flexibility" and proposes exploring *automated* search-space construction per
+task.  This module implements the natural first step: given proxy-measured
+samples on (tasks similar to) the target task, shrink the space to the
+operators and hyperparameter values that appear in the top-performing
+quantile, so subsequent search spends its budget in the promising region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arch import S_OPERATORS, T_OPERATORS
+from .archhyper import ArchHyper
+from .hyperparams import HyperSpace
+from .sampling import JointSearchSpace
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Keep what the best ``quantile`` of measured samples uses."""
+
+    quantile: float = 0.5
+    min_operators: int = 3  # never prune below one S, one T, and identity
+    min_values_per_hyper: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quantile <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {self.quantile}")
+
+
+def _top_samples(
+    measured: list[tuple[ArchHyper, float]], quantile: float
+) -> list[ArchHyper]:
+    scores = np.array([score for _, score in measured])
+    cutoff = np.quantile(scores, quantile)
+    return [ah for ah, score in measured if score <= cutoff]
+
+
+def prune_space(
+    space: JointSearchSpace,
+    measured: list[tuple[ArchHyper, float]],
+    config: PruningConfig = PruningConfig(),
+) -> JointSearchSpace:
+    """Shrink ``space`` to the region populated by the best measured samples.
+
+    ``measured`` pairs arch-hypers with error scores (lower better).  The
+    pruned space always remains *searchable*: at least one spatial and one
+    temporal operator are kept, and every hyperparameter keeps at least
+    ``min_values_per_hyper`` values.
+    """
+    if len(measured) < 2:
+        raise ValueError("pruning needs at least two measured samples")
+    top = _top_samples(measured, config.quantile)
+
+    used_operators = {edge.op for ah in top for edge in ah.arch.edges}
+    keep_ops = [op for op in space.operators if op in used_operators]
+    # Guarantee searchability of the pruned space.
+    if not any(op in S_OPERATORS for op in keep_ops):
+        keep_ops.extend(op for op in space.operators if op in S_OPERATORS)
+    if not any(op in T_OPERATORS for op in keep_ops):
+        keep_ops.extend(op for op in space.operators if op in T_OPERATORS)
+    keep_ops = tuple(dict.fromkeys(keep_ops))  # dedupe, keep order
+
+    old = space.hyper_space.as_dict()
+    kept_values: dict[str, tuple[int, ...]] = {}
+    for key, values in old.items():
+        used = {ah.hyper.to_dict()[key] for ah in top}
+        kept = tuple(v for v in values if v in used)
+        if len(kept) < config.min_values_per_hyper:
+            kept = values
+        kept_values[key] = kept
+    pruned_hyper = HyperSpace(
+        num_blocks=kept_values["B"],
+        num_nodes=kept_values["C"],
+        hidden_dims=kept_values["H"],
+        output_dims=kept_values["I"],
+        output_modes=kept_values["U"],
+        dropout=kept_values["delta"],
+    )
+    return JointSearchSpace(hyper_space=pruned_hyper, operators=keep_ops)
+
+
+def space_reduction(original: JointSearchSpace, pruned: JointSearchSpace) -> float:
+    """Fraction of hyperparameter-space cardinality removed by pruning."""
+    before = original.hyper_space.cardinality
+    after = pruned.hyper_space.cardinality
+    return 1.0 - after / before

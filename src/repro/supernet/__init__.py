@@ -1,0 +1,14 @@
+"""Supernet-based architecture search (the predecessor approach, Fig. 1a)."""
+
+from .mixed import MixedOperation
+from .search import SupernetConfig, SupernetSearchResult, supernet_search
+from .supernet import SuperNet, SuperNetForecaster
+
+__all__ = [
+    "MixedOperation",
+    "SupernetConfig",
+    "SupernetSearchResult",
+    "supernet_search",
+    "SuperNet",
+    "SuperNetForecaster",
+]

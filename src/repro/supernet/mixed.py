@@ -1,0 +1,49 @@
+"""Mixed operations for supernet-based (DARTS-style) architecture search.
+
+Implements Eq. 5 of the paper: the transformation between two supernet nodes
+is the softmax-weighted sum of *all* candidate operators, with the weights
+``alpha`` learned jointly with the operator parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax
+from ..nn import init
+from ..nn.module import Module, ModuleList, Parameter
+from ..operators import OperatorContext, build_operator
+
+
+class MixedOperation(Module):
+    """softmax(alpha)-weighted sum of every candidate operator (Eq. 5)."""
+
+    def __init__(
+        self,
+        context: OperatorContext,
+        operators: tuple[str, ...],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if len(operators) < 2:
+            raise ValueError("a mixed operation needs at least two candidates")
+        self.operator_names = tuple(operators)
+        self.candidates = ModuleList(build_operator(name, context) for name in operators)
+        self.alpha = Parameter(init.normal(rng, (len(operators),), std=0.01))
+
+    def weights(self) -> Tensor:
+        return softmax(self.alpha, axis=0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        weights = self.weights()
+        out = None
+        for index, operator in enumerate(self.candidates):
+            term = operator(x) * weights[index : index + 1].reshape(1, 1, 1, 1)
+            out = term if out is None else out + term
+        return out
+
+    def strongest(self) -> tuple[str, float]:
+        """The dominant operator and its softmax weight (for derivation)."""
+        weights = self.weights().numpy()
+        index = int(np.argmax(weights))
+        return self.operator_names[index], float(weights[index])

@@ -1,0 +1,107 @@
+"""Supernet-based architecture search (the AutoCTS/AutoSTG approach).
+
+First-order DARTS-style bi-level optimization: operator weights descend the
+training loss while the architecture parameters ``alpha`` descend the
+validation loss, alternating per epoch; the discrete architecture is derived
+at the end.  This is the fully-supervised, per-task, architecture-only
+predecessor that AutoCTS++'s zero-shot joint search replaces — and the
+benchmark :mod:`bench_ablation_supernet_cost` quantifies why (cost per new
+task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..data.graph import transition_matrix
+from ..data.windows import iterate_batches
+from ..nn.loss import mae_loss
+from ..optim import Adam, clip_grad_norm
+from ..space.arch import Architecture, CANDIDATE_OPERATORS
+from ..tasks.task import Task
+from ..utils.seeding import derive_rng
+from .supernet import SuperNetForecaster
+
+
+@dataclass(frozen=True)
+class SupernetConfig:
+    """Knobs of the supernet search (predefined hyperparameters!).
+
+    Note what the paper criticizes: ``num_nodes`` and ``hidden_dim`` must be
+    fixed *before* searching — the supernet cannot search hyperparameters.
+    """
+
+    num_nodes: int = 4
+    hidden_dim: int = 16
+    num_blocks: int = 1
+    epochs: int = 5
+    batch_size: int = 64
+    weight_lr: float = 1e-3
+    alpha_lr: float = 3e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+@dataclass
+class SupernetSearchResult:
+    architecture: Architecture
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+
+
+def supernet_search(
+    task: Task,
+    config: SupernetConfig = SupernetConfig(),
+    operators: tuple[str, ...] = CANDIDATE_OPERATORS,
+) -> SupernetSearchResult:
+    """Train a supernet on ``task`` and derive the discrete ST-block."""
+    prepared = task.prepared
+    data = task.data
+    supports = [transition_matrix(data.adjacency), transition_matrix(data.adjacency.T)]
+    model = SuperNetForecaster(
+        num_nodes=config.num_nodes,
+        n_series=data.n_series,
+        n_features=data.n_features,
+        horizon=task.horizon,
+        hidden_dim=config.hidden_dim,
+        num_blocks=config.num_blocks,
+        supports=supports,
+        operators=operators,
+        seed=config.seed,
+    )
+    weight_optimizer = Adam(model.operator_parameters(), lr=config.weight_lr)
+    alpha_optimizer = Adam(model.architecture_parameters(), lr=config.alpha_lr)
+    rng = derive_rng(config.seed, "supernet-search")
+    result = SupernetSearchResult(architecture=model.derive_architecture())
+
+    val_batches = list(iterate_batches(prepared.val, config.batch_size))
+    for epoch in range(config.epochs):
+        # Interleave: weights on training batches, alphas on validation
+        # batches (first-order approximation of the bi-level problem).
+        train_losses = []
+        val_cycle = 0
+        for x, y in iterate_batches(prepared.train, config.batch_size, rng=rng):
+            weight_optimizer.zero_grad()
+            loss = mae_loss(model(Tensor(x)), y)
+            loss.backward()
+            clip_grad_norm(weight_optimizer.parameters, config.grad_clip)
+            weight_optimizer.step()
+            train_losses.append(loss.item())
+
+            vx, vy = val_batches[val_cycle % len(val_batches)]
+            val_cycle += 1
+            alpha_optimizer.zero_grad()
+            val_loss = mae_loss(model(Tensor(vx)), vy)
+            val_loss.backward()
+            alpha_optimizer.step()
+        result.train_losses.append(float(np.mean(train_losses)))
+        with_val = [
+            mae_loss(model(Tensor(vx)), vy).item() for vx, vy in val_batches[:4]
+        ]
+        result.val_losses.append(float(np.mean(with_val)))
+
+    result.architecture = model.derive_architecture()
+    return result

@@ -1,0 +1,144 @@
+"""The supernet: a fully-connected DAG of mixed operations (Fig. 1a, Eq. 5–6).
+
+Every forward node pair ``(h_i, h_j)``, ``i < j``, carries one
+:class:`MixedOperation`; each node is the sum of its incoming mixed edges
+(Eq. 6).  After training, :meth:`SuperNet.derive_architecture` keeps, per
+node, the (at most two) incoming edges whose dominant operators have the
+largest weights — the derivation rule of AutoCTS/AutoSTG — yielding a
+discrete :class:`~repro.space.arch.Architecture`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn.conv import PointwiseConv2d
+from ..nn.module import Module, ModuleList
+from ..operators import OperatorContext
+from ..space.arch import Architecture, CANDIDATE_OPERATORS, Edge, MAX_INCOMING_EDGES
+from ..utils.seeding import derive_rng
+
+
+class SuperNet(Module):
+    """One supernet ST-block over ``num_nodes`` latent nodes."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        context: OperatorContext,
+        operators: tuple[str, ...] = CANDIDATE_OPERATORS,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_nodes < 2:
+            raise ValueError("a supernet needs at least two nodes")
+        from .mixed import MixedOperation
+
+        self.num_nodes = num_nodes
+        rng = derive_rng(seed, "supernet")
+        self.pairs: list[tuple[int, int]] = [
+            (i, j) for j in range(1, num_nodes) for i in range(j)
+        ]
+        self.mixed = ModuleList(
+            MixedOperation(context, operators, rng) for _ in self.pairs
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        nodes: list[Tensor | None] = [x] + [None] * (self.num_nodes - 1)
+        for (source, target), mixed in zip(self.pairs, self.mixed):
+            term = mixed(nodes[source])
+            current = nodes[target]
+            nodes[target] = term if current is None else current + term
+        return nodes[-1]
+
+    # ------------------------------------------------------------------
+    # Architecture parameters vs. operator weights
+    # ------------------------------------------------------------------
+    def architecture_parameters(self):
+        """The alpha vectors (trained on validation data in DARTS style)."""
+        return [mixed.alpha for mixed in self.mixed]
+
+    def operator_parameters(self):
+        """All parameters except the alphas."""
+        alphas = {id(a) for a in self.architecture_parameters()}
+        return [p for p in self.parameters() if id(p) not in alphas]
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def derive_architecture(self) -> Architecture:
+        """Discretize: keep the strongest <=2 incoming edges per node."""
+        best: dict[int, list[tuple[float, int, str]]] = {
+            node: [] for node in range(1, self.num_nodes)
+        }
+        for (source, target), mixed in zip(self.pairs, self.mixed):
+            name, weight = mixed.strongest()
+            best[target].append((weight, source, name))
+        edges: list[Edge] = []
+        for target, incoming in best.items():
+            incoming.sort(reverse=True)
+            for weight, source, name in incoming[:MAX_INCOMING_EDGES]:
+                edges.append(Edge(source, target, name))
+        return Architecture(num_nodes=self.num_nodes, edges=tuple(edges))
+
+
+class SuperNetForecaster(Module):
+    """A forecasting model whose ST-backbone is a stack of supernets."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        n_series: int,
+        n_features: int,
+        horizon: int,
+        hidden_dim: int = 16,
+        num_blocks: int = 1,
+        supports: list[np.ndarray] | None = None,
+        operators: tuple[str, ...] = CANDIDATE_OPERATORS,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = derive_rng(seed, "supernet-model")
+        context = OperatorContext(
+            hidden_dim=hidden_dim,
+            n_nodes=n_series,
+            supports=supports or [],
+            rng=rng,
+        )
+        self.horizon = horizon
+        self.n_features = n_features
+        self.input_proj = PointwiseConv2d(n_features, hidden_dim, rng=rng)
+        self.blocks = ModuleList(
+            SuperNet(num_nodes, context, operators, seed=seed + block)
+            for block in range(num_blocks)
+        )
+        self.out_head = PointwiseConv2d(hidden_dim, horizon * n_features, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        from ..autodiff import as_tensor
+
+        x = as_tensor(x)
+        batch, _, n_nodes, _ = x.shape
+        latent = self.input_proj(x.transpose(0, 3, 2, 1))
+        for block in self.blocks:
+            latent = latent + block(latent)
+        projected = self.out_head(latent[:, :, :, -1:].relu())
+        return (
+            projected.reshape(batch, self.horizon, self.n_features, n_nodes)
+            .transpose(0, 1, 3, 2)
+        )
+
+    def architecture_parameters(self):
+        params = []
+        for block in self.blocks:
+            params.extend(block.architecture_parameters())
+        return params
+
+    def operator_parameters(self):
+        alphas = {id(a) for a in self.architecture_parameters()}
+        return [p for p in self.parameters() if id(p) not in alphas]
+
+    def derive_architecture(self) -> Architecture:
+        """Derive from the first block (blocks share the discovered cell)."""
+        return self.blocks[0].derive_architecture()

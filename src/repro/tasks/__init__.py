@@ -1,0 +1,17 @@
+"""CTS forecasting tasks, enrichment, and the early-validation proxy."""
+
+from .enrichment import EnrichmentConfig, derive_subset, enrich_tasks, supported_settings
+from .proxy import ProxyConfig, full_train_score, measure_arch_hyper
+from .task import PreparedTask, Task
+
+__all__ = [
+    "EnrichmentConfig",
+    "derive_subset",
+    "enrich_tasks",
+    "supported_settings",
+    "ProxyConfig",
+    "full_train_score",
+    "measure_arch_hyper",
+    "PreparedTask",
+    "Task",
+]

@@ -1,0 +1,104 @@
+"""Task enrichment for comparator pre-training (paper Section 3.2.4, Fig. 5).
+
+Pre-training the T-AHC needs many diverse tasks.  Commonly used CTS datasets
+are multiplied into sub-tasks by:
+
+* cutting **temporally continuous** segments (preserving temporal patterns),
+* sampling **variables** (series) and reconstructing their adjacency matrix
+  (preserving spatial correlations),
+* pairing each subset with forecasting settings appropriate to its length —
+  short datasets are only associated with small P/Q values (the paper's
+  first guideline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.datasets import CTSData
+from .task import Task
+
+
+@dataclass(frozen=True)
+class EnrichmentConfig:
+    """Knobs for subset creation."""
+
+    min_fraction_steps: float = 0.5  # minimal temporal-slice length
+    min_fraction_nodes: float = 0.5  # minimal node-sample size
+    min_windows: int = 20  # subset must support this many (P+Q)-windows
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_fraction_steps <= 1 or not 0 < self.min_fraction_nodes <= 1:
+            raise ValueError("fractions must lie in (0, 1]")
+
+
+def derive_subset(
+    data: CTSData, rng: np.random.Generator, config: EnrichmentConfig = EnrichmentConfig()
+) -> CTSData:
+    """Draw one temporally-continuous, node-sampled subset of ``data``."""
+    min_steps = max(int(data.n_steps * config.min_fraction_steps), 2)
+    length = int(rng.integers(min_steps, data.n_steps + 1))
+    start = int(rng.integers(0, data.n_steps - length + 1))
+    min_nodes = max(int(data.n_series * config.min_fraction_nodes), 2)
+    n_nodes = int(rng.integers(min_nodes, data.n_series + 1))
+    nodes = np.sort(rng.choice(data.n_series, size=n_nodes, replace=False))
+    subset = data.slice_time(start, start + length).select_nodes(nodes)
+    return subset
+
+
+def supported_settings(
+    data: CTSData,
+    settings: list[tuple[int, int]],
+    min_windows: int,
+) -> list[tuple[int, int]]:
+    """Filter forecasting settings to those the dataset can support.
+
+    Implements the guideline that datasets with few time steps should only be
+    associated with smaller P and Q values.
+    """
+    return [
+        (p, q)
+        for p, q in settings
+        if data.n_steps >= (p + q) * 3 and data.n_steps - (p + q) + 1 >= min_windows
+    ]
+
+
+def enrich_tasks(
+    source_datasets: list[CTSData],
+    settings: list[tuple[int, int]],
+    n_subsets: int,
+    seed: int = 0,
+    config: EnrichmentConfig = EnrichmentConfig(),
+) -> list[Task]:
+    """Create pre-training tasks from source datasets (Algorithm 1 input).
+
+    Each of the ``n_subsets`` subsets is cut from a round-robin-chosen source
+    dataset and paired with every forecasting setting its length supports.
+    """
+    if not source_datasets:
+        raise ValueError("need at least one source dataset")
+    if not settings:
+        raise ValueError("need at least one forecasting setting")
+    rng = np.random.default_rng(seed)
+    tasks: list[Task] = []
+    attempts = 0
+    index = 0
+    while len({t.data.name for t in tasks}) < n_subsets:
+        attempts += 1
+        if attempts > 50 * n_subsets:
+            break  # sources too short for the requested settings
+        data = source_datasets[index % len(source_datasets)]
+        index += 1
+        subset = derive_subset(data, rng, config)
+        usable = supported_settings(subset, settings, config.min_windows)
+        if not usable:
+            continue
+        for p, q in usable:
+            tasks.append(Task(data=subset, p=p, q=q, single_step=False))
+    if not tasks:
+        raise RuntimeError(
+            "task enrichment produced no tasks; settings exceed dataset lengths"
+        )
+    return tasks

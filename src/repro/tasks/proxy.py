@@ -1,0 +1,87 @@
+"""The early-validation performance proxy R' (paper Eq. 22).
+
+Collecting comparator training labels with fully trained models is
+prohibitively expensive; instead an arch-hyper is trained for only ``k``
+epochs (k=5 in the paper) and its validation error is used as the label
+source.  :func:`measure_arch_hyper` is that proxy; :func:`full_train_score`
+is the expensive ground truth used by the proxy-fidelity ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import build_forecaster
+from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
+from ..metrics import ForecastScores
+from ..space.archhyper import ArchHyper
+from .task import Task
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Settings of the early-validation proxy."""
+
+    epochs: int = 5  # the paper's k
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    seed: int = 0
+
+    def train_config(self, epochs: int | None = None) -> TrainConfig:
+        """Materialize the proxy's training configuration."""
+        chosen = epochs if epochs is not None else self.epochs
+        return TrainConfig(
+            epochs=chosen,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            patience=max(chosen, 1),
+            seed=self.seed,
+        )
+
+
+def measure_arch_hyper(
+    arch_hyper: ArchHyper,
+    task: Task,
+    config: ProxyConfig = ProxyConfig(),
+) -> float:
+    """R'(ah): validation error after only ``k`` training epochs (Eq. 22).
+
+    Returns the validation MAE (multi-step) or RRSE (single-step); lower is
+    better.
+    """
+    prepared = task.prepared
+    model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
+    train_forecaster(model, prepared.train, prepared.val, config.train_config())
+    scores = evaluate_forecaster(model, prepared.val, config.batch_size)
+    return scores.primary(single_step=task.single_step)
+
+
+def full_train_score(
+    arch_hyper: ArchHyper,
+    task: Task,
+    epochs: int = 30,
+    config: ProxyConfig = ProxyConfig(),
+    return_test: bool = True,
+) -> ForecastScores:
+    """Fully train ``arch_hyper`` on ``task`` and score it (val or test)."""
+    prepared = task.prepared
+    model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
+    train_forecaster(
+        model,
+        prepared.train,
+        prepared.val,
+        TrainConfig(
+            epochs=epochs,
+            batch_size=config.batch_size,
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+            patience=max(3, epochs // 4),
+            seed=config.seed,
+        ),
+    )
+    windows = prepared.test if return_test else prepared.val
+    return evaluate_forecaster(
+        model, windows, config.batch_size, inverse=prepared.inverse
+    )

@@ -1,0 +1,91 @@
+"""Tests for the search-result analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SearchSummary,
+    arch_hyper_similarity,
+    edge_jaccard,
+    hyper_distance,
+    operator_frequencies,
+    spatial_temporal_ratio,
+)
+from repro.space import ArchHyper, Architecture, Edge, HyperParameters, JointSearchSpace
+
+
+def _ah(edges, **hyper_overrides):
+    arch = Architecture(3, edges)
+    defaults = dict(num_blocks=2, num_nodes=3, hidden_dim=32, output_dim=64,
+                    output_mode=0, dropout=0)
+    defaults.update(hyper_overrides)
+    return ArchHyper(arch, HyperParameters(**defaults))
+
+
+GDCC_CHAIN = (Edge(0, 1, "gdcc"), Edge(1, 2, "gdcc"))
+MIXED = (Edge(0, 1, "gdcc"), Edge(1, 2, "dgcn"))
+
+
+class TestOperatorStats:
+    def test_frequencies_sum_to_one(self):
+        freqs = operator_frequencies([_ah(MIXED), _ah(GDCC_CHAIN)])
+        assert sum(freqs.values()) == pytest.approx(1.0)
+        assert freqs["gdcc"] == pytest.approx(0.75)
+
+    def test_frequencies_empty(self):
+        freqs = operator_frequencies([])
+        assert all(v == 0.0 for v in freqs.values())
+
+    def test_spatial_ratio(self):
+        assert spatial_temporal_ratio(_ah(MIXED)) == pytest.approx(0.5)
+        assert spatial_temporal_ratio(_ah(GDCC_CHAIN)) == 0.0
+
+    def test_spatial_ratio_ignores_skips(self):
+        ah = _ah((Edge(0, 1, "skip"), Edge(1, 2, "dgcn")))
+        assert spatial_temporal_ratio(ah) == 1.0
+
+
+class TestSimilarity:
+    def test_jaccard_identical(self):
+        assert edge_jaccard(_ah(MIXED), _ah(MIXED)) == 1.0
+
+    def test_jaccard_disjoint(self):
+        a = _ah(MIXED)
+        b = _ah((Edge(0, 1, "inf_t"), Edge(1, 2, "inf_s")))
+        assert edge_jaccard(a, b) == 0.0
+
+    def test_hyper_distance_zero_for_identical(self):
+        assert hyper_distance(_ah(MIXED), _ah(MIXED)) == 0.0
+
+    def test_hyper_distance_grows_with_difference(self):
+        near = hyper_distance(_ah(MIXED), _ah(MIXED, hidden_dim=48))
+        far = hyper_distance(_ah(MIXED), _ah(MIXED, hidden_dim=64, num_blocks=6))
+        assert 0 < near < far
+
+    def test_blended_similarity_bounds(self):
+        space = JointSearchSpace()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = space.sample(rng), space.sample(rng)
+            sim = arch_hyper_similarity(a, b)
+            assert 0.0 <= sim <= 1.0
+
+    def test_self_similarity_is_one(self):
+        assert arch_hyper_similarity(_ah(MIXED), _ah(MIXED)) == 1.0
+
+
+class TestSearchSummary:
+    def test_summary_fields(self):
+        summary = SearchSummary.from_arch_hypers([_ah(MIXED), _ah(GDCC_CHAIN, dropout=1)])
+        assert summary.count == 2
+        assert summary.mean_edges == 2.0
+        assert summary.hyper_modes["C"] == 3
+
+    def test_summary_render(self):
+        text = SearchSummary.from_arch_hypers([_ah(MIXED)]).render()
+        assert "operator usage" in text
+        assert "modal hyperparameters" in text
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SearchSummary.from_arch_hypers([])

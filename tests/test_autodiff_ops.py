@@ -1,0 +1,219 @@
+"""Gradient checks for every autodiff primitive against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor, check_gradients
+
+
+RNG = np.random.default_rng(7)
+
+
+def _rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestElementwise:
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: a + b, [_rand(3, 4), _rand(4)])
+
+    def test_sub_broadcast(self):
+        check_gradients(lambda a, b: a - b, [_rand(2, 3, 4), _rand(3, 1)])
+
+    def test_mul(self):
+        check_gradients(lambda a, b: a * b, [_rand(5), _rand(5)])
+
+    def test_div(self):
+        check_gradients(lambda a, b: a / b, [_rand(3, 2), np.abs(_rand(3, 2)) + 1.0])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [_rand(4)])
+
+    def test_power(self):
+        check_gradients(lambda a: a**3, [_rand(3, 3)])
+
+    def test_sqrt(self):
+        check_gradients(ad.sqrt, [np.abs(_rand(4)) + 0.5])
+
+    def test_abs(self):
+        check_gradients(ad.absolute, [np.abs(_rand(6)) + 0.1])
+
+    def test_exp(self):
+        check_gradients(ad.exp, [_rand(3, 2)])
+
+    def test_log(self):
+        check_gradients(ad.log, [np.abs(_rand(5)) + 0.5])
+
+    def test_tanh(self):
+        check_gradients(ad.tanh, [_rand(4, 4)])
+
+    def test_sigmoid(self):
+        check_gradients(ad.sigmoid, [_rand(4)])
+
+    def test_relu(self):
+        check_gradients(ad.relu, [np.abs(_rand(5)) + 0.1])
+
+    def test_leaky_relu(self):
+        check_gradients(lambda a: ad.leaky_relu(a, 0.1), [np.abs(_rand(5)) + 0.1])
+
+    def test_gelu(self):
+        check_gradients(ad.gelu, [_rand(4, 3)])
+
+    def test_clip_interior(self):
+        check_gradients(lambda a: ad.clip(a, -10.0, 10.0), [_rand(5)])
+
+    def test_maximum(self):
+        a, b = _rand(4), _rand(4)
+        b = b + np.where(np.abs(a - b) < 0.2, 0.5, 0.0)  # avoid kink
+        check_gradients(ad.maximum, [a, b])
+
+    def test_where(self):
+        cond = RNG.random((3, 4)) > 0.5
+        check_gradients(lambda a, b: ad.where(cond, a, b), [_rand(3, 4), _rand(3, 4)])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradients(lambda a: ad.sum(a), [_rand(3, 4)])
+
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda a: ad.sum(a, axis=1, keepdims=True), [_rand(3, 4)])
+
+    def test_sum_multi_axis(self):
+        check_gradients(lambda a: ad.sum(a, axis=(0, 2)), [_rand(2, 3, 4)])
+
+    def test_mean_axis(self):
+        check_gradients(lambda a: ad.mean(a, axis=0), [_rand(5, 2)])
+
+    def test_mean_all(self):
+        check_gradients(lambda a: ad.mean(a), [_rand(2, 2, 2)])
+
+    def test_amax(self):
+        a = np.arange(12.0).reshape(3, 4)  # unique values: no tie ambiguity
+        check_gradients(lambda t: ad.amax(t, axis=1), [a])
+
+    def test_variance_matches_numpy(self):
+        a = _rand(4, 6)
+        out = ad.variance(Tensor(a), axis=1)
+        np.testing.assert_allclose(out.data, a.var(axis=1), rtol=1e-5)
+
+    def test_variance_grad(self):
+        check_gradients(lambda a: ad.variance(a, axis=-1), [_rand(3, 5)])
+
+
+class TestLinalgAndShape:
+    def test_matmul_2d(self):
+        check_gradients(ad.matmul, [_rand(3, 4), _rand(4, 2)])
+
+    def test_matmul_batched(self):
+        check_gradients(ad.matmul, [_rand(2, 3, 4), _rand(2, 4, 5)])
+
+    def test_matmul_broadcast_batch(self):
+        check_gradients(ad.matmul, [_rand(2, 5, 3, 4), _rand(4, 2)])
+
+    def test_matmul_vec(self):
+        check_gradients(ad.matmul, [_rand(4), _rand(4)])
+
+    def test_matmul_mat_vec(self):
+        check_gradients(ad.matmul, [_rand(3, 4), _rand(4)])
+
+    def test_reshape(self):
+        check_gradients(lambda a: ad.reshape(a, (6, 2)), [_rand(3, 4)])
+
+    def test_transpose(self):
+        check_gradients(lambda a: ad.transpose(a, (2, 0, 1)), [_rand(2, 3, 4)])
+
+    def test_swapaxes(self):
+        check_gradients(lambda a: ad.swapaxes(a, 0, 2), [_rand(2, 3, 4)])
+
+    def test_expand_squeeze(self):
+        check_gradients(lambda a: ad.squeeze(ad.expand_dims(a, 1), 1), [_rand(3, 4)])
+
+    def test_getitem_slice(self):
+        check_gradients(lambda a: a[1:, :2], [_rand(3, 4)])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda a: a[idx], [_rand(3, 4)])
+
+    def test_concat(self):
+        check_gradients(lambda a, b: ad.concat([a, b], axis=1), [_rand(2, 3), _rand(2, 2)])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: ad.stack([a, b], axis=0), [_rand(2, 3), _rand(2, 3)])
+
+    def test_pad(self):
+        check_gradients(
+            lambda a: ad.pad(a, ((0, 0), (1, 2))), [_rand(2, 3)]
+        )
+
+    def test_embedding(self):
+        idx = np.array([[0, 1], [3, 1]])
+        check_gradients(lambda w: ad.embedding(w, idx), [_rand(4, 5)])
+
+
+class TestComposite:
+    def test_softmax_rows_sum_to_one(self):
+        out = ad.softmax(Tensor(_rand(3, 5)), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_softmax_grad(self):
+        weight = Tensor(_rand(3, 5))
+        check_gradients(lambda a: ad.softmax(a, axis=-1) * weight, [_rand(3, 5)])
+
+    def test_log_softmax_grad(self):
+        weight = Tensor(_rand(2, 4))
+        check_gradients(lambda a: ad.log_softmax(a, axis=-1) * weight, [_rand(2, 4)])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        a = _rand(4, 6)
+        ls = ad.log_softmax(Tensor(a), axis=1).data
+        np.testing.assert_allclose(ls, np.log(ad.softmax(Tensor(a), axis=1).data), rtol=1e-5)
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_on_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 5.0
+        (a + b).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(_rand(2, 2), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(_rand(3), requires_grad=True)
+        with ad.no_grad():
+            y = x * 2.0
+        assert y._backward is None
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x.detach() * 3.0 + x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.array([1.0, 2.0], dtype=np.float64))
+        assert t.dtype == np.float64

@@ -1,0 +1,80 @@
+"""Tests for rolling-origin backtesting."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import BacktestConfig, BacktestResult, rolling_backtest
+from repro.core.trainer import TrainConfig
+from repro.data import CTSData
+from repro.metrics import ForecastScores
+from repro.space import ArchHyper, Architecture, Edge, HyperParameters
+
+
+def _arch_hyper():
+    arch = Architecture(3, (Edge(0, 1, "gdcc"), Edge(1, 2, "dgcn")))
+    return ArchHyper(arch, HyperParameters(1, 3, 8, 8, 0, 0))
+
+
+def _data(t=240, seed=0):
+    rng = np.random.default_rng(seed)
+    steps = np.arange(t)
+    values = np.stack(
+        [np.sin(2 * np.pi * steps / 12 + k) + 0.1 * rng.standard_normal(t) for k in range(4)]
+    )
+    return CTSData("sine", values[..., None].astype(np.float32), np.ones((4, 4), np.float32), "test")
+
+
+FAST = BacktestConfig(
+    n_folds=3, train=TrainConfig(epochs=1, batch_size=32), max_train_windows=64
+)
+
+
+class TestBacktest:
+    def test_produces_one_score_per_fold(self):
+        result = rolling_backtest(_arch_hyper(), _data(), p=6, q=3, config=FAST)
+        assert len(result.fold_scores) == 3
+        assert len(result.fold_origins) == 3
+        assert all(np.isfinite(s.mae) for s in result.fold_scores)
+
+    def test_origins_are_increasing(self):
+        result = rolling_backtest(_arch_hyper(), _data(), p=6, q=3, config=FAST)
+        assert result.fold_origins == sorted(result.fold_origins)
+
+    def test_mean_mae_and_trend(self):
+        scores = [
+            ForecastScores(1.0, 1, 0, 0, 0),
+            ForecastScores(2.0, 1, 0, 0, 0),
+            ForecastScores(3.0, 1, 0, 0, 0),
+        ]
+        result = BacktestResult(fold_scores=scores, fold_origins=[10, 20, 30])
+        assert result.mean_mae == pytest.approx(2.0)
+        assert result.mae_trend == pytest.approx(1.0)
+
+    def test_single_fold_trend_zero(self):
+        result = BacktestResult(
+            fold_scores=[ForecastScores(1.0, 1, 0, 0, 0)], fold_origins=[10]
+        )
+        assert result.mae_trend == 0.0
+
+    def test_static_model_reused_across_folds(self):
+        config = BacktestConfig(
+            n_folds=2, retrain_per_fold=False,
+            train=TrainConfig(epochs=1, batch_size=32), max_train_windows=64,
+        )
+        result = rolling_backtest(_arch_hyper(), _data(), p=6, q=3, config=config)
+        assert len(result.fold_scores) == 2
+
+    def test_rejects_too_short_data(self):
+        with pytest.raises(ValueError):
+            rolling_backtest(
+                _arch_hyper(), _data(t=40), p=6, q=3,
+                config=BacktestConfig(n_folds=2, min_train_fraction=0.9,
+                                      test_fraction=0.05,
+                                      train=TrainConfig(epochs=1)),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BacktestConfig(n_folds=0)
+        with pytest.raises(ValueError):
+            BacktestConfig(min_train_fraction=0.8, test_fraction=0.3)

@@ -1,0 +1,156 @@
+"""Tests for the baseline forecasting models."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.baselines import (
+    AGCRN,
+    ALL_BASELINES,
+    Autoformer,
+    FEDformer,
+    MANUAL_BASELINES,
+    MTGNN,
+    PDFormer,
+    TRANSFER_BASELINES,
+    build_baseline,
+    fixed_arch_hyper,
+    series_decomposition,
+)
+from repro.core import TrainConfig, train_forecaster
+from repro.data import CTSData
+from repro.space import HyperSpace
+from repro.tasks import Task
+
+B, P, N, F, Q = 2, 12, 5, 1, 3
+RNG = np.random.default_rng(0)
+
+
+def _task(t=200, seed=0):
+    rng = np.random.default_rng(seed)
+    steps = np.arange(t)
+    values = np.stack(
+        [np.sin(2 * np.pi * steps / 12 + k) + 0.1 * rng.standard_normal(t) for k in range(N)]
+    )
+    adj = np.eye(N, dtype=np.float32)
+    adj[0, 1] = adj[1, 0] = 0.8
+    return Task(
+        CTSData("toy", values[..., None].astype(np.float32), adj, "test"), p=P, q=Q
+    )
+
+
+def _x():
+    return RNG.standard_normal((B, P, N, F)).astype(np.float32)
+
+
+TINY_HYPER = HyperSpace(
+    num_blocks=(1, 2), num_nodes=(3,), hidden_dims=(8,), output_dims=(8,),
+    output_modes=(0, 1), dropout=(0, 1),
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", MANUAL_BASELINES)
+    def test_manual_baseline_output_shape(self, name):
+        model = build_baseline(name, _task(), hidden_dim=8)
+        out = model(_x())
+        assert out.shape == (B, Q, N, F)
+
+    @pytest.mark.parametrize("name", TRANSFER_BASELINES)
+    def test_transfer_baseline_output_shape(self, name):
+        model = build_baseline(name, _task(), hyper_space=TINY_HYPER)
+        out = model(_x())
+        assert out.shape == (B, Q, N, F)
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            build_baseline("LSTM9000", _task())
+
+    @pytest.mark.parametrize("name", MANUAL_BASELINES)
+    def test_gradients_flow(self, name):
+        model = build_baseline(name, _task(), hidden_dim=8)
+        model(_x()).sum().backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads
+
+    def test_input_validation(self):
+        model = MTGNN(n_nodes=N, n_features=F, horizon=Q, hidden_dim=8)
+        with pytest.raises(ValueError):
+            model(np.zeros((B, P, N + 1, F), dtype=np.float32))
+
+
+class TestMechanisms:
+    def test_series_decomposition_reconstructs(self):
+        x = Tensor(RNG.standard_normal((2, 20, 3)).astype(np.float32))
+        seasonal, trend = series_decomposition(x, kernel=5)
+        np.testing.assert_allclose(
+            seasonal.data + trend.data, x.data, rtol=1e-5, atol=1e-6
+        )
+
+    def test_trend_smoother_than_input(self):
+        x = Tensor(RNG.standard_normal((1, 50, 1)).astype(np.float32))
+        _, trend = series_decomposition(x, kernel=9)
+        assert np.abs(np.diff(trend.data[0, :, 0])).mean() < np.abs(
+            np.diff(x.data[0, :, 0])
+        ).mean()
+
+    def test_fedformer_rejects_wrong_length(self):
+        model = FEDformer(n_nodes=N, n_features=F, horizon=Q, input_steps=P, hidden_dim=8)
+        with pytest.raises(ValueError):
+            model(np.zeros((B, P + 1, N, F), dtype=np.float32))
+
+    def test_pdformer_identity_mask_blocks_cross_node_attention(self):
+        model = PDFormer(n_nodes=N, n_features=F, horizon=Q, adjacency=None, hidden_dim=8)
+        model.eval()
+        x = _x()
+        base = model(x).data.copy()
+        x2 = x.copy()
+        x2[:, :, 0, :] += 10.0
+        out = model(x2).data
+        np.testing.assert_allclose(out[:, :, 1:, :], base[:, :, 1:, :], rtol=1e-3)
+
+    def test_agcrn_hidden_state_evolves(self):
+        model = AGCRN(n_nodes=N, n_features=F, horizon=Q, hidden_dim=8)
+        model.eval()
+        x = _x()
+        x2 = x.copy()
+        x2[:, 0] += 5.0  # early input still influences output through the GRU
+        assert not np.allclose(model(x).data, model(x2).data)
+
+
+class TestFixedArchs:
+    def test_all_transfer_baselines_defined(self):
+        for name in TRANSFER_BASELINES:
+            ah = fixed_arch_hyper(name, TINY_HYPER)
+            ah.arch.validate()
+            assert TINY_HYPER.contains(ah.hyper)
+
+    def test_autostg_plus_has_no_attention(self):
+        ah = fixed_arch_hyper("AutoSTG+", TINY_HYPER)
+        ops = {e.op for e in ah.arch.edges}
+        assert "inf_t" not in ops and "inf_s" not in ops
+
+    def test_autocts_plus_tunes_hyperparameters(self):
+        plain = fixed_arch_hyper("AutoCTS", TINY_HYPER)
+        joint = fixed_arch_hyper("AutoCTS+", TINY_HYPER)
+        assert joint.hyper.hidden_dim >= plain.hyper.hidden_dim
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            fixed_arch_hyper("AutoML")
+
+    def test_deterministic(self):
+        assert fixed_arch_hyper("AutoCTS").key() == fixed_arch_hyper("AutoCTS").key()
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("name", ["MTGNN", "AGCRN"])
+    def test_baseline_learns_sine(self, name):
+        task = _task()
+        prepared = task.prepared
+        model = build_baseline(name, task, hidden_dim=8)
+        result = train_forecaster(
+            model, prepared.train, prepared.val,
+            TrainConfig(epochs=3, batch_size=32, patience=3),
+        )
+        assert result.train_losses[-1] < result.train_losses[0]

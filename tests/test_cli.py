@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "PEMS-BAY" in out
+        assert "source" in out and "target" in out
+
+    def test_sample_command(self, capsys):
+        assert main(["sample", "--count", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Arch(") == 2
+
+    def test_sample_deterministic(self, capsys):
+        main(["sample", "--count", "1", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["sample", "--count", "1", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_train_command(self, capsys, tmp_path):
+        code = main(
+            [
+                "train", "SZ-TAXI", "--p", "6", "--q", "3", "--epochs", "1",
+                "--max-windows", "64", "--save", str(tmp_path / "model"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test MAE=" in out
+        assert (tmp_path / "model" / "model.json").exists()
+
+    def test_train_rejects_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["train", "NOPE", "--epochs", "1"])
+
+    def test_search_command_smoke_scale(self, capsys):
+        code = main(["search", "SZ-TAXI", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "searched:" in out
+        assert "test MAE=" in out

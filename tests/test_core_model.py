@@ -1,0 +1,169 @@
+"""Tests for ST-blocks, the CTS forecaster, and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core import (
+    CTSForecaster,
+    STBlock,
+    TrainConfig,
+    build_forecaster,
+    evaluate_forecaster,
+    predict,
+    train_forecaster,
+)
+from repro.data import CTSData, make_windows, split_windows
+from repro.operators import OperatorContext
+from repro.space import ArchHyper, Architecture, Edge, HyperParameters
+
+
+def _simple_arch(c=3):
+    edges = [Edge(0, 1, "gdcc"), Edge(1, 2, "dgcn")]
+    for target in range(3, c):
+        edges.append(Edge(target - 1, target, "skip"))
+    return Architecture(num_nodes=c, edges=tuple(edges))
+
+
+def _hyper(c=3, **overrides):
+    defaults = dict(
+        num_blocks=1, num_nodes=c, hidden_dim=8, output_dim=8, output_mode=0, dropout=0
+    )
+    defaults.update(overrides)
+    return HyperParameters(**defaults)
+
+
+def _arch_hyper(c=3, **overrides):
+    return ArchHyper(arch=_simple_arch(c), hyper=_hyper(c, **overrides))
+
+
+def _sine_data(n=4, t=160, seed=0):
+    rng = np.random.default_rng(seed)
+    steps = np.arange(t)
+    phases = rng.uniform(0, 2 * np.pi, size=(n, 1))
+    values = np.sin(2 * np.pi * steps / 24 + phases) + 0.05 * rng.standard_normal((n, t))
+    return CTSData("sine", values[..., None].astype(np.float32), np.ones((n, n), np.float32), "test")
+
+
+class TestSTBlock:
+    def _context(self, n=4):
+        return OperatorContext(hidden_dim=8, n_nodes=n, rng=np.random.default_rng(0))
+
+    def test_output_shape(self):
+        block = STBlock(_simple_arch(), self._context())
+        out = block(Tensor(np.random.default_rng(0).standard_normal((2, 8, 4, 10))))
+        assert out.shape == (2, 8, 4, 10)
+
+    def test_output_mode_sum_differs_from_last(self):
+        arch = Architecture(3, (Edge(0, 1, "gdcc"), Edge(0, 2, "gdcc"), Edge(1, 2, "skip")))
+        ctx = self._context()
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((1, 8, 4, 6)).astype(np.float32))
+        last = STBlock(arch, ctx, output_mode=0)
+        total = STBlock(arch, ctx, output_mode=1)
+        total.load_state_dict(last.state_dict())
+        assert not np.allclose(last(x).data, total(x).data)
+
+    def test_rejects_bad_output_mode(self):
+        with pytest.raises(ValueError):
+            STBlock(_simple_arch(), self._context(), output_mode=2)
+
+    def test_multi_incoming_edges_summed(self):
+        arch = Architecture(3, (Edge(0, 1, "skip"), Edge(0, 2, "skip"), Edge(1, 2, "skip")))
+        block = STBlock(arch, self._context())
+        x = Tensor(np.ones((1, 8, 4, 5), dtype=np.float32))
+        # h1 = x; h2 = x + h1 = 2x
+        np.testing.assert_allclose(block(x).data, 2.0, rtol=1e-6)
+
+
+class TestForecaster:
+    def test_output_shape_multi_step(self):
+        model = CTSForecaster(_arch_hyper(), n_nodes=5, n_features=1, horizon=6)
+        out = model(np.random.default_rng(0).standard_normal((3, 12, 5, 1)).astype(np.float32))
+        assert out.shape == (3, 6, 5, 1)
+
+    def test_output_shape_multi_feature(self):
+        model = CTSForecaster(_arch_hyper(), n_nodes=4, n_features=2, horizon=3)
+        out = model(np.zeros((2, 8, 4, 2), dtype=np.float32))
+        assert out.shape == (2, 3, 4, 2)
+
+    def test_deterministic_construction(self):
+        a = CTSForecaster(_arch_hyper(), 4, 1, 3, seed=7)
+        b = CTSForecaster(_arch_hyper(), 4, 1, 3, seed=7)
+        np.testing.assert_array_equal(
+            a.input_proj.weight.data, b.input_proj.weight.data
+        )
+
+    def test_num_blocks_respected(self):
+        model = CTSForecaster(_arch_hyper(num_blocks=3), 4, 1, 2)
+        assert len(model.blocks) == 3
+
+    def test_dropout_hyper_controls_randomness(self):
+        ah = _arch_hyper(dropout=1)
+        model = CTSForecaster(ah, 4, 1, 2, seed=0)
+        model.train()
+        x = np.random.default_rng(0).standard_normal((2, 8, 4, 1)).astype(np.float32)
+        out1 = model(x).data.copy()
+        out2 = model(x).data
+        assert not np.allclose(out1, out2)
+        model.eval()
+        out3 = model(x).data
+        out4 = model(x).data
+        np.testing.assert_array_equal(out3, out4)
+
+    def test_build_forecaster_uses_graph(self):
+        data = _sine_data()
+        model = build_forecaster(_arch_hyper(), data, horizon=4)
+        assert model.horizon == 4
+
+    def test_gradients_flow_end_to_end(self):
+        model = CTSForecaster(_arch_hyper(), 4, 1, 2)
+        x = np.random.default_rng(0).standard_normal((2, 8, 4, 1)).astype(np.float32)
+        model(x).sum().backward()
+        named = dict(model.named_parameters())
+        assert named["input_proj.weight"].grad is not None
+        assert named["out_head.weight"].grad is not None
+
+
+class TestTrainer:
+    def _windows(self):
+        data = _sine_data()
+        windows = make_windows(data, p=12, q=4)
+        return split_windows(windows, (7, 1, 2))
+
+    def test_training_reduces_loss(self):
+        train, val, _ = self._windows()
+        model = build_forecaster(_arch_hyper(), _sine_data(), horizon=4)
+        result = train_forecaster(
+            model, train, val, TrainConfig(epochs=8, batch_size=16, patience=8)
+        )
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.best_val_mae < 1.0  # sine amplitude is 1: must beat naive
+
+    def test_early_stopping_restores_best_state(self):
+        train, val, _ = self._windows()
+        model = build_forecaster(_arch_hyper(), _sine_data(), horizon=4)
+        result = train_forecaster(
+            model, train, val, TrainConfig(epochs=6, batch_size=16, patience=2)
+        )
+        final_val = evaluate_forecaster(model, val).mae
+        assert final_val == pytest.approx(result.best_val_mae, rel=1e-4)
+
+    def test_predict_shapes(self):
+        train, val, test = self._windows()
+        model = build_forecaster(_arch_hyper(), _sine_data(), horizon=4)
+        preds = predict(model, test)
+        assert preds.shape == test.y.shape
+
+    def test_evaluate_with_inverse_transform(self):
+        train, val, _ = self._windows()
+        model = build_forecaster(_arch_hyper(), _sine_data(), horizon=4)
+        scaled = evaluate_forecaster(model, val)
+        rescaled = evaluate_forecaster(model, val, inverse=lambda a: a * 10.0)
+        assert rescaled.mae == pytest.approx(10 * scaled.mae, rel=1e-4)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(patience=0)

@@ -1,0 +1,157 @@
+"""Tests for TS2Vec, Set-Transformer, and the task encoder."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.embedding import (
+    MLPEmbedder,
+    MeanPoolTaskEncoder,
+    SetPool,
+    TS2Vec,
+    TS2VecConfig,
+    TS2VecEncoder,
+    TaskEncoder,
+    build_preliminary_embedder,
+    hierarchical_contrastive_loss,
+    preliminary_task_embedding,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestTS2VecEncoder:
+    def test_output_shape(self):
+        enc = TS2VecEncoder(input_dim=2, hidden_dim=8, output_dim=6, depth=2)
+        out = enc(Tensor(RNG.standard_normal((3, 12, 2)).astype(np.float32)))
+        assert out.shape == (3, 12, 6)
+
+    def test_per_timestep_representations_differ(self):
+        enc = TS2VecEncoder(input_dim=1, hidden_dim=8, output_dim=4, depth=2)
+        x = np.zeros((1, 16, 1), dtype=np.float32)
+        x[0, 8, 0] = 5.0
+        out = enc(Tensor(x)).data
+        assert not np.allclose(out[0, 0], out[0, 8])
+
+
+class TestContrastiveLoss:
+    def test_loss_is_finite_scalar(self):
+        z1 = Tensor(RNG.standard_normal((4, 8, 6)).astype(np.float32), requires_grad=True)
+        z2 = Tensor(RNG.standard_normal((4, 8, 6)).astype(np.float32))
+        loss = hierarchical_contrastive_loss(z1, z2)
+        assert loss.data.shape == ()
+        assert np.isfinite(loss.item())
+
+    def test_identical_views_have_lower_loss_than_random(self):
+        z = Tensor(5 * RNG.standard_normal((4, 8, 6)).astype(np.float32))
+        other = Tensor(5 * RNG.standard_normal((4, 8, 6)).astype(np.float32))
+        same = hierarchical_contrastive_loss(z, z).item()
+        different = hierarchical_contrastive_loss(z, other).item()
+        assert same < different
+
+    def test_gradient_flows(self):
+        z1 = Tensor(RNG.standard_normal((3, 4, 5)).astype(np.float32), requires_grad=True)
+        z2 = Tensor(RNG.standard_normal((3, 4, 5)).astype(np.float32))
+        hierarchical_contrastive_loss(z1, z2).backward()
+        assert z1.grad is not None
+        assert np.abs(z1.grad).sum() > 0
+
+
+class TestTS2Vec:
+    def _series(self, num=12, s=16, f=1):
+        t = np.arange(s)
+        phases = RNG.uniform(0, 2 * np.pi, size=(num, 1))
+        clean = np.sin(2 * np.pi * t / 8 + phases)
+        return (clean[..., None] + 0.05 * RNG.standard_normal((num, s, f))).astype(np.float32)
+
+    def test_fit_reduces_loss(self):
+        model = TS2Vec(input_dim=1, config=TS2VecConfig(epochs=4, batch_size=6,
+                                                        hidden_dim=8, output_dim=8, depth=2))
+        history = model.fit(self._series())
+        assert len(history) == 4
+        assert history[-1] < history[0]
+
+    def test_encode_shapes(self):
+        model = TS2Vec(input_dim=1, config=TS2VecConfig(output_dim=8, hidden_dim=8, depth=2))
+        out = model.encode(self._series(num=5))
+        assert out.shape == (5, 16, 8)
+
+    def test_encode_windows_shape(self):
+        model = TS2Vec(input_dim=1, config=TS2VecConfig(output_dim=8, hidden_dim=8, depth=2))
+        windows = RNG.standard_normal((3, 4, 10, 1)).astype(np.float32)
+        out = model.encode_windows(windows)
+        assert out.shape == (3, 4, 10, 8)
+
+    def test_fit_rejects_bad_shape(self):
+        model = TS2Vec(input_dim=2)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 10, 1)))
+
+
+class TestSetPool:
+    def test_output_shape(self):
+        pool = SetPool(in_dim=6, out_dim=8, rng=np.random.default_rng(0))
+        out = pool(Tensor(RNG.standard_normal((3, 7, 6)).astype(np.float32)))
+        assert out.shape == (3, 8)
+
+    def test_permutation_invariance(self):
+        pool = SetPool(in_dim=6, out_dim=8, rng=np.random.default_rng(0))
+        pool.eval()
+        x = RNG.standard_normal((1, 7, 6)).astype(np.float32)
+        base = pool(Tensor(x)).data
+        shuffled = x[:, np.random.default_rng(1).permutation(7), :]
+        np.testing.assert_allclose(pool(Tensor(shuffled)).data, base, atol=1e-4)
+
+    def test_depends_on_every_element(self):
+        pool = SetPool(in_dim=4, out_dim=4, rng=np.random.default_rng(0))
+        pool.eval()
+        x = RNG.standard_normal((1, 5, 4)).astype(np.float32)
+        base = pool(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 3.0
+        assert not np.allclose(pool(Tensor(x2)).data, base)
+
+
+class TestTaskEncoder:
+    def test_output_is_vector(self):
+        encoder = TaskEncoder(input_dim=8, intra_dim=8, output_dim=6)
+        preliminary = RNG.standard_normal((5, 10, 8)).astype(np.float32)
+        out = encoder(preliminary)
+        assert out.shape == (6,)
+
+    def test_trainable_end_to_end(self):
+        encoder = TaskEncoder(input_dim=8, intra_dim=8, output_dim=6)
+        out = encoder(RNG.standard_normal((5, 10, 8)).astype(np.float32))
+        (out * out).sum().backward()
+        grads = [p.grad for p in encoder.parameters() if p.grad is not None]
+        assert grads
+
+    def test_different_tasks_embed_differently(self):
+        encoder = TaskEncoder(input_dim=8, intra_dim=8, output_dim=6)
+        a = encoder(RNG.standard_normal((5, 10, 8)).astype(np.float32)).data
+        b = encoder(RNG.standard_normal((3, 20, 8)).astype(np.float32)).data
+        assert not np.allclose(a, b)
+
+    def test_meanpool_variant(self):
+        encoder = MeanPoolTaskEncoder(input_dim=8, output_dim=6)
+        out = encoder(RNG.standard_normal((5, 10, 8)).astype(np.float32))
+        assert out.shape == (6,)
+
+
+class TestPreliminaryEmbedding:
+    def test_mlp_embedder_shapes(self):
+        embedder = MLPEmbedder(input_dim=2, output_dim=8)
+        windows = RNG.standard_normal((3, 4, 10, 2)).astype(np.float32)
+        assert embedder.encode_windows(windows).shape == (3, 4, 10, 8)
+
+    def test_preliminary_embedding_averages_series(self):
+        embedder = MLPEmbedder(input_dim=1, output_dim=8)
+        windows = RNG.standard_normal((3, 4, 10, 1)).astype(np.float32)
+        out = preliminary_task_embedding(embedder, windows)
+        assert out.shape == (3, 10, 8)
+
+    def test_factory(self):
+        assert isinstance(build_preliminary_embedder("mlp", 1), MLPEmbedder)
+        assert isinstance(build_preliminary_embedder("ts2vec", 1), TS2Vec)
+        with pytest.raises(ValueError):
+            build_preliminary_embedder("bert", 1)

@@ -1,0 +1,48 @@
+"""Smoke tests keeping the example scripts importable and runnable.
+
+Only the fastest example runs end to end here; the others are compile- and
+import-checked so they cannot silently rot.
+"""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "traffic_zero_shot.py",
+            "electricity_autocts_plus.py",
+            "joint_vs_arch_only.py",
+            "custom_operator.py",
+            "supernet_vs_zero_shot.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_example_parses_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{path.name} must define main()"
+        docstring = ast.get_docstring(tree)
+        assert docstring and "Run:" in docstring, f"{path.name} must document how to run"
+
+    def test_quickstart_runs_end_to_end(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "test MAE=" in completed.stdout

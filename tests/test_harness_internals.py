@@ -1,0 +1,68 @@
+"""Tests for experiment-harness internals (variant wiring, overrides)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import MeanPoolTaskEncoder, MLPEmbedder, TaskEncoder, TS2Vec
+from repro.experiments import SMOKE, TINY, make_searcher, pretrain_variant
+from repro.experiments.harness import (
+    _build_variant_model,
+    _fit_embedder,
+    _pretrain_config,
+    source_tasks,
+)
+
+
+class TestVariantWiring:
+    def test_full_variant_uses_set_transformer(self):
+        model = _build_variant_model(TINY, "full", seed=0)
+        assert isinstance(model.task_encoder, TaskEncoder)
+
+    def test_wo_set_transformer_uses_meanpool(self):
+        model = _build_variant_model(TINY, "wo_set_transformer", seed=0)
+        assert isinstance(model.task_encoder, MeanPoolTaskEncoder)
+
+    def test_wo_shared_config_moves_samples(self):
+        config = _pretrain_config(TINY, "wo_shared", seed=0)
+        assert config.shared_samples == 0
+        assert config.random_samples == TINY.shared_samples + TINY.random_samples
+
+    def test_full_config_keeps_split(self):
+        config = _pretrain_config(TINY, "full", seed=0)
+        assert config.shared_samples == TINY.shared_samples
+        assert config.random_samples == TINY.random_samples
+
+
+class TestEmbedderFitting:
+    def test_fit_embedder_noop_for_mlp(self):
+        embedder = MLPEmbedder(input_dim=1, output_dim=8)
+        _fit_embedder(embedder, [])  # must not raise even with no tasks
+
+    def test_fit_embedder_trains_ts2vec(self):
+        from repro.embedding import TS2VecConfig
+
+        tasks = source_tasks(SMOKE, seed=0)
+        embedder = TS2Vec(
+            input_dim=1,
+            config=TS2VecConfig(hidden_dim=8, output_dim=8, depth=1, epochs=1),
+        )
+        before = {k: v.copy() for k, v in embedder.encoder.state_dict().items()}
+        _fit_embedder(embedder, tasks)
+        after = embedder.encoder.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+
+class TestSearcherOverrides:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        return pretrain_variant(SMOKE, "full", seed=5, cache_dir=None)
+
+    def test_top_k_override(self, artifacts):
+        searcher = make_searcher(artifacts, SMOKE, top_k=1)
+        assert searcher.config.evolution.top_k == 1
+        searcher2 = make_searcher(artifacts, SMOKE)
+        assert searcher2.config.evolution.top_k == SMOKE.top_k
+
+    def test_initial_samples_override(self, artifacts):
+        searcher = make_searcher(artifacts, SMOKE, initial_samples=5)
+        assert searcher.config.evolution.initial_samples == 5

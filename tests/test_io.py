@@ -1,0 +1,62 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import CTSForecaster, build_forecaster
+from repro.data import CTSData
+from repro.io import load_forecaster, save_forecaster
+from repro.space import ArchHyper, Architecture, Edge, HyperParameters
+
+
+def _arch_hyper():
+    arch = Architecture(3, (Edge(0, 1, "gdcc"), Edge(1, 2, "dgcn")))
+    return ArchHyper(arch, HyperParameters(1, 3, 8, 8, 0, 0))
+
+
+def _data(n=4):
+    values = np.random.default_rng(0).normal(size=(n, 60, 1)).astype(np.float32)
+    return CTSData("toy", values, np.eye(n, dtype=np.float32), "test")
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        model = build_forecaster(_arch_hyper(), _data(), horizon=3, seed=1)
+        model.eval()
+        x = np.random.default_rng(1).normal(size=(2, 6, 4, 1)).astype(np.float32)
+        expected = model(x).numpy().copy()
+        save_forecaster(model, tmp_path / "m")
+        loaded = load_forecaster(tmp_path / "m")
+        loaded.eval()
+        np.testing.assert_allclose(loaded(x).numpy(), expected, rtol=1e-5)
+
+    def test_roundtrip_preserves_arch_hyper(self, tmp_path):
+        model = build_forecaster(_arch_hyper(), _data(), horizon=3)
+        save_forecaster(model, tmp_path / "m")
+        loaded = load_forecaster(tmp_path / "m")
+        assert loaded.arch_hyper.key() == model.arch_hyper.key()
+
+    def test_supports_restored(self, tmp_path):
+        model = build_forecaster(_arch_hyper(), _data(), horizon=3)
+        save_forecaster(model, tmp_path / "m")
+        loaded = load_forecaster(tmp_path / "m")
+        assert len(loaded.supports) == len(model.supports)
+        np.testing.assert_allclose(loaded.supports[0], model.supports[0])
+
+    def test_model_without_supports(self, tmp_path):
+        model = CTSForecaster(_arch_hyper(), n_nodes=4, n_features=1, horizon=2)
+        save_forecaster(model, tmp_path / "m")
+        loaded = load_forecaster(tmp_path / "m")
+        assert loaded.supports == []
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_forecaster(tmp_path / "nothing")
+
+    def test_version_check(self, tmp_path):
+        model = CTSForecaster(_arch_hyper(), n_nodes=4, n_features=1, horizon=2)
+        path = save_forecaster(model, tmp_path / "m")
+        meta = (path / "model.json").read_text().replace('"format_version": 1', '"format_version": 99')
+        (path / "model.json").write_text(meta)
+        with pytest.raises(ValueError):
+            load_forecaster(path)

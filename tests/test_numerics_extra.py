@@ -1,0 +1,88 @@
+"""Extra numerical-fidelity tests against independent references."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.baselines.fedformer import dft_matrices
+from repro.metrics import corr
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.operators import GDCC, OperatorContext
+
+
+class TestAttentionReference:
+    def test_scaled_dot_product_matches_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((1, 4, 8))
+        k = rng.standard_normal((1, 4, 8))
+        v = rng.standard_normal((1, 4, 8))
+        out = scaled_dot_product_attention(Tensor(q), Tensor(k), Tensor(v)).numpy()
+
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(8)
+        weights = np.exp(scores - scores.max(-1, keepdims=True))
+        weights /= weights.sum(-1, keepdims=True)
+        expected = weights @ v
+        np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+    def test_attention_is_permutation_equivariant(self):
+        """Self-attention without masks commutes with input permutation."""
+        mha = MultiHeadAttention(8, num_heads=2, rng=np.random.default_rng(0))
+        mha.eval()
+        x = np.random.default_rng(1).standard_normal((1, 5, 8)).astype(np.float32)
+        perm = np.random.default_rng(2).permutation(5)
+        base = mha(Tensor(x)).numpy()
+        permuted = mha(Tensor(x[:, perm])).numpy()
+        np.testing.assert_allclose(permuted, base[:, perm], atol=1e-4)
+
+
+class TestDFT:
+    def test_full_dft_roundtrip(self):
+        """cos/sin bases (unmasked) must implement an invertible DFT."""
+        steps = 8
+        cos, sin = dft_matrices(steps)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(steps)
+        real = cos @ x
+        imag = sin @ x  # note: ``sin`` is -sin(angles), so imag = Im(X_k)
+        # inverse: x = (cos^T real - sin_true^T imag) / N, sin_true = -sin.
+        restored = (cos.T @ real + sin.T @ imag) / steps
+        np.testing.assert_allclose(restored, x, atol=1e-4)
+
+    def test_dft_of_constant_concentrates_at_dc(self):
+        cos, sin = dft_matrices(8)
+        x = np.ones(8)
+        real = cos @ x
+        assert abs(real[0]) == pytest.approx(8.0)
+        np.testing.assert_allclose(real[1:], 0.0, atol=1e-4)
+
+
+class TestGDCCDilation:
+    def test_dilated_receptive_field(self):
+        """With dilation d and kernel 2, output t depends on t and t-d only."""
+        context = OperatorContext(
+            hidden_dim=4, n_nodes=2, rng=np.random.default_rng(0)
+        )
+        op = GDCC(context, kernel_size=2, dilation=3)
+        op.eval()
+        x = np.random.default_rng(1).standard_normal((1, 4, 2, 10)).astype(np.float32)
+        base = op(Tensor(x)).numpy().copy()
+        x2 = x.copy()
+        x2[..., 2] += 5.0  # perturb time step 2
+        out = op(Tensor(x2)).numpy()
+        changed = ~np.isclose(out, base, rtol=1e-5).all(axis=(0, 1, 2))
+        # Only steps 2 and 2+3=5 may change.
+        assert changed[2] and changed[5]
+        assert not changed[[0, 1, 3, 4, 6, 7, 8, 9]].any()
+
+
+class TestCorrEdgeCases:
+    def test_constant_series_skipped(self):
+        pred = np.ones((10, 2))
+        targ = np.ones((10, 2))
+        assert corr(pred, targ) == 0.0  # zero-variance pairs are skipped
+
+    def test_mixed_constant_and_varying(self):
+        rng = np.random.default_rng(0)
+        targ = np.column_stack([np.ones(20), rng.standard_normal(20)])
+        pred = targ.copy()
+        assert corr(pred, targ) == pytest.approx(1.0)

@@ -1,0 +1,183 @@
+"""Tests for the candidate S/T operators."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.data.graph import gaussian_kernel_adjacency, random_sensor_positions, transition_matrix
+from repro.operators import (
+    DGCN,
+    GDCC,
+    Identity,
+    InformerSpatial,
+    InformerTemporal,
+    OPERATOR_REGISTRY,
+    OperatorContext,
+    STOperator,
+    build_operator,
+    graph_propagate,
+    register_operator,
+)
+
+B, H, N, T = 2, 8, 5, 12
+RNG = np.random.default_rng(0)
+
+
+def _context(dropout=0.0, supports=True):
+    adj = gaussian_kernel_adjacency(random_sensor_positions(N, np.random.default_rng(1)))
+    sups = [transition_matrix(adj), transition_matrix(adj.T)] if supports else []
+    return OperatorContext(
+        hidden_dim=H,
+        n_nodes=N,
+        supports=sups,
+        dropout_rate=dropout,
+        rng=np.random.default_rng(2),
+    )
+
+
+def _latent():
+    return Tensor(RNG.standard_normal((B, H, N, T)).astype(np.float32))
+
+
+class TestRegistry:
+    def test_all_paper_operators_registered(self):
+        assert set(OPERATOR_REGISTRY) >= {"gdcc", "inf_t", "dgcn", "inf_s", "skip"}
+
+    def test_build_operator(self):
+        op = build_operator("gdcc", _context())
+        assert isinstance(op, GDCC)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            build_operator("conv9000", _context())
+
+    def test_register_new_operator(self):
+        class Doubler(STOperator):
+            name = "doubler_test"
+
+            def forward(self, x):
+                return x * 2.0
+
+        register_operator(Doubler)
+        try:
+            op = build_operator("doubler_test", _context())
+            x = _latent()
+            np.testing.assert_allclose(op(x).data, 2 * x.data)
+        finally:
+            del OPERATOR_REGISTRY["doubler_test"]
+
+    def test_register_rejects_unnamed(self):
+        class Bad(STOperator):
+            pass
+
+        with pytest.raises(ValueError):
+            register_operator(Bad)
+
+
+class TestShapesAndGradients:
+    @pytest.mark.parametrize("name", ["gdcc", "inf_t", "dgcn", "inf_s", "skip"])
+    def test_shape_preserved(self, name):
+        op = build_operator(name, _context())
+        out = op(_latent())
+        assert out.shape == (B, H, N, T)
+
+    @pytest.mark.parametrize("name", ["gdcc", "inf_t", "dgcn", "inf_s"])
+    def test_gradients_reach_parameters(self, name):
+        op = build_operator(name, _context())
+        out = op(_latent())
+        out.sum().backward()
+        grads = [p.grad for p in op.parameters()]
+        assert grads, f"{name} has no parameters"
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+
+class TestGDCC:
+    def test_causal(self):
+        op = GDCC(_context())
+        op.eval()
+        x = RNG.standard_normal((1, H, N, T)).astype(np.float32)
+        base = op(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[..., -1] += 10.0
+        out = op(Tensor(x2)).data
+        np.testing.assert_allclose(out[..., :-1], base[..., :-1], rtol=1e-4)
+
+    def test_gating_bounds_output(self):
+        """tanh*sigmoid keeps magnitudes below 1."""
+        op = GDCC(_context())
+        op.eval()
+        out = op(Tensor(100.0 * RNG.standard_normal((1, H, N, T)).astype(np.float32)))
+        assert np.abs(out.data).max() <= 1.0 + 1e-5
+
+
+class TestDGCN:
+    def test_graph_propagate_matches_einsum(self):
+        x = RNG.standard_normal((B, H, N, T))
+        support = RNG.random((N, N))
+        out = graph_propagate(Tensor(x), Tensor(support)).data
+        expected = np.einsum("nm,bhmt->bhnt", support, x)
+        np.testing.assert_allclose(out, expected, rtol=1e-4)
+
+    def test_adaptive_adjacency_is_stochastic(self):
+        op = DGCN(_context())
+        adaptive = op.adaptive_adjacency().data
+        np.testing.assert_allclose(adaptive.sum(axis=-1), 1.0, rtol=1e-5)
+        assert (adaptive >= 0).all()
+
+    def test_works_without_predefined_supports(self):
+        """Self-adaptive adjacency alone suffices (e.g. Electricity)."""
+        op = DGCN(_context(supports=False))
+        assert op(_latent()).shape == (B, H, N, T)
+
+    def test_isolated_node_unaffected_by_others(self):
+        """With identity supports and no mixing, propagation respects the graph."""
+        support = np.eye(N, dtype=np.float32)
+        x = RNG.standard_normal((1, H, N, T))
+        out = graph_propagate(Tensor(x), Tensor(support)).data
+        np.testing.assert_allclose(out, x, rtol=1e-5)
+
+
+class TestInformer:
+    def test_inf_t_mixes_time_not_space(self):
+        """INF-T output at node n must not depend on other nodes' inputs."""
+        op = InformerTemporal(_context())
+        op.eval()
+        x = RNG.standard_normal((1, H, N, T)).astype(np.float32)
+        base = op(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[:, :, 0, :] += 5.0  # perturb node 0 only
+        out = op(Tensor(x2)).data
+        np.testing.assert_allclose(out[:, :, 1:, :], base[:, :, 1:, :], rtol=1e-4)
+        assert not np.allclose(out[:, :, 0, :], base[:, :, 0, :])
+
+    def test_inf_s_mixes_space_not_time(self):
+        """INF-S output at time t must not depend on other time steps."""
+        op = InformerSpatial(_context())
+        op.eval()
+        x = RNG.standard_normal((1, H, N, T)).astype(np.float32)
+        base = op(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[:, :, :, 0] += 5.0  # perturb time 0 only
+        out = op(Tensor(x2)).data
+        np.testing.assert_allclose(out[:, :, :, 1:], base[:, :, :, 1:], rtol=1e-4)
+        assert not np.allclose(out[:, :, :, 0], base[:, :, :, 0])
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        op = Identity(_context())
+        x = _latent()
+        np.testing.assert_array_equal(op(x).data, x.data)
+
+    def test_no_parameters(self):
+        assert list(Identity(_context()).parameters()) == []
+
+
+class TestContextValidation:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            OperatorContext(hidden_dim=0, n_nodes=3)
+
+    def test_rejects_bad_support_shape(self):
+        with pytest.raises(ValueError):
+            OperatorContext(hidden_dim=4, n_nodes=3, supports=[np.eye(5)])

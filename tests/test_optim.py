@@ -1,0 +1,117 @@
+"""Tests for optimizers and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, Parameter, mse_loss
+from repro.optim import Adam, CosineAnnealingLR, SGD, StepLR, clip_grad_norm
+
+
+def _quadratic_step(optimizer, param):
+    """One optimization step on f(w) = ||w||^2."""
+    optimizer.zero_grad()
+    (param * param).sum().backward()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        w = Parameter(np.array([4.0, -2.0]))
+        opt = SGD([w], lr=0.1)
+        for _ in range(50):
+            _quadratic_step(opt, w)
+        assert np.abs(w.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        w_plain = Parameter(np.array([10.0]))
+        w_momentum = Parameter(np.array([10.0]))
+        plain, momentum = SGD([w_plain], lr=0.01), SGD([w_momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            _quadratic_step(plain, w_plain)
+            _quadratic_step(momentum, w_momentum)
+        assert abs(w_momentum.data[0]) < abs(w_plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (w * 0.0).sum().backward()
+        opt.step()
+        assert w.data[0] < 1.0
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        w = Parameter(np.array([3.0, -5.0]))
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            _quadratic_step(opt, w)
+        assert np.abs(w.data).max() < 1e-2
+
+    def test_fits_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0, -1.0]])
+        x = rng.standard_normal((64, 2))
+        y = x @ true_w.T
+        model = Linear(2, 1, rng=rng)
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(model.weight.data, true_w, atol=0.05)
+
+    def test_skips_parameters_without_grad(self):
+        w = Parameter(np.array([1.0]))
+        unused = Parameter(np.array([5.0]))
+        opt = Adam([w, unused], lr=0.1)
+        _quadratic_step(opt, w)
+        np.testing.assert_array_equal(unused.data, [5.0])
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small_gradients(self):
+        w = Parameter(np.zeros(2))
+        w.grad = np.array([0.1, 0.1])
+        clip_grad_norm([w], max_norm=5.0)
+        np.testing.assert_allclose(w.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def test_step_lr_halves(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_cosine_reaches_min(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_lr_rejects_bad_step(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)

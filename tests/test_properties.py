@@ -1,0 +1,164 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These exercise invariants that individual unit tests cannot cover
+exhaustively: autodiff correctness on composed expressions, search-space
+closure under repeated genetic operations, encoding determinism, and the
+data pipeline's shape contracts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import autodiff as ad
+from repro.autodiff import Tensor
+from repro.comparator import curriculum_schedule
+from repro.data import CTSData, StandardScaler, make_windows
+from repro.search import round_robin_top_k
+from repro.space import (
+    ArchHyper,
+    HyperSpace,
+    JointSearchSpace,
+    encode_arch_hyper,
+)
+
+small_floats = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+
+
+class TestAutodiffProperties:
+    @given(
+        hnp.arrays(np.float64, hnp.array_shapes(max_dims=3, max_side=4), elements=small_floats)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_of_parts_equals_whole(self, values):
+        t = Tensor(values, requires_grad=True)
+        (t * 3.0 + t * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(values, 5.0))
+
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                   elements=small_floats)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linearity_of_gradient(self, values):
+        """grad of (a * x).sum() is a, for any constant a."""
+        t = Tensor(values, requires_grad=True)
+        (t * 7.5).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(values, 7.5))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 12), elements=small_floats)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        out = ad.softmax(Tensor(values), axis=-1).data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 3), st.integers(2, 5)),
+                   elements=small_floats)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tanh_bounded(self, values):
+        out = ad.tanh(Tensor(values)).data
+        assert (np.abs(out) <= 1.0).all()
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_shape_contract(self, a, b, c):
+        rng = np.random.default_rng(0)
+        out = ad.matmul(Tensor(rng.normal(size=(a, b))), Tensor(rng.normal(size=(b, c))))
+        assert out.shape == (a, c)
+
+
+class TestSearchSpaceClosure:
+    @given(st.integers(0, 2_000), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_mutation_chains_stay_valid(self, seed, depth):
+        """Arbitrary chains of mutations never leave the valid space."""
+        rng = np.random.default_rng(seed)
+        space = JointSearchSpace()
+        current = space.sample(rng)
+        for _ in range(depth):
+            current = space.mutate(current, rng)
+            current.arch.validate()
+            assert space.hyper_space.contains(current.hyper)
+            assert current.is_searchable()
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_roundtrip(self, seed):
+        space = JointSearchSpace()
+        ah = space.sample(np.random.default_rng(seed))
+        restored = ArchHyper.from_dict(ah.to_dict())
+        assert restored == ah
+        assert restored.key() == ah.key()
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_is_deterministic(self, seed):
+        space = JointSearchSpace()
+        ah = space.sample(np.random.default_rng(seed))
+        e1, e2 = encode_arch_hyper(ah), encode_arch_hyper(ah)
+        np.testing.assert_array_equal(e1.adjacency, e2.adjacency)
+        np.testing.assert_array_equal(e1.op_indices, e2.op_indices)
+        np.testing.assert_array_equal(e1.hyper_vector, e2.hyper_vector)
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=40, deadline=None)
+    def test_hyper_normalization_invertible_ordering(self, seed):
+        """Normalized vectors preserve the ordering of each component."""
+        space = HyperSpace()
+        rng = np.random.default_rng(seed)
+        a, b = space.sample(rng), space.sample(rng)
+        va, vb = a.normalized_vector(space), b.normalized_vector(space)
+        raw_a, raw_b = a.to_vector(), b.to_vector()
+        for i in range(6):
+            if raw_a[i] < raw_b[i]:
+                assert va[i] < vb[i]
+            elif raw_a[i] > raw_b[i]:
+                assert va[i] > vb[i]
+
+
+class TestDataPipelineProperties:
+    @given(st.integers(2, 5), st.integers(30, 80), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_window_counts(self, n, t, p, q):
+        values = np.random.default_rng(0).normal(size=(n, t, 1)).astype(np.float32)
+        data = CTSData("x", values, np.eye(n, dtype=np.float32), "test")
+        windows = make_windows(data, p, q)
+        assert len(windows) == t - (p + q) + 1
+        assert windows.x.shape == (len(windows), p, n, 1)
+
+    @given(
+        hnp.arrays(
+            np.float64, st.tuples(st.integers(2, 4), st.integers(10, 40), st.integers(1, 3)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scaler_roundtrip(self, values):
+        scaler = StandardScaler()
+        restored = scaler.inverse_transform(scaler.fit_transform(values))
+        np.testing.assert_allclose(restored, values, atol=1e-2, rtol=1e-3)
+
+
+class TestSelectionProperties:
+    @given(st.integers(2, 10), st.integers(1, 10), st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_round_robin_returns_distinct_indices(self, n, k, seed):
+        wins = (np.random.default_rng(seed).random((n, n)) > 0.5).astype(float)
+        np.fill_diagonal(wins, 0)
+        chosen = round_robin_top_k(wins, k)
+        assert len(chosen) == min(k, n)
+        assert len(set(chosen)) == len(chosen)
+
+    @given(st.integers(0, 30), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_curriculum_bounds(self, total, epochs):
+        schedule = curriculum_schedule(total, epochs)
+        assert len(schedule) == epochs
+        assert all(0 <= d <= total for d in schedule)
+        assert schedule[-1] == total

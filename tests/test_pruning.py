@@ -1,0 +1,65 @@
+"""Tests for task-adaptive search-space pruning."""
+
+import numpy as np
+import pytest
+
+from repro.space import JointSearchSpace
+from repro.space.pruning import PruningConfig, prune_space, space_reduction
+
+
+def _measured(space, count=20, seed=0):
+    """Synthetic measurements: smaller hidden dims score better."""
+    rng = np.random.default_rng(seed)
+    samples = space.sample_batch(count, rng)
+    return [(ah, float(ah.hyper.hidden_dim)) for ah in samples]
+
+
+class TestPruning:
+    def test_pruned_space_is_subset(self):
+        space = JointSearchSpace()
+        pruned = prune_space(space, _measured(space))
+        assert set(pruned.operators) <= set(space.operators)
+        for key, values in pruned.hyper_space.as_dict().items():
+            assert set(values) <= set(space.hyper_space.as_dict()[key])
+
+    def test_pruning_reduces_cardinality(self):
+        space = JointSearchSpace()
+        pruned = prune_space(space, _measured(space), PruningConfig(quantile=0.3))
+        assert space_reduction(space, pruned) > 0.0
+
+    def test_pruned_space_keeps_best_region(self):
+        """The best measured hyper values must survive pruning."""
+        space = JointSearchSpace()
+        measured = _measured(space)
+        best = min(measured, key=lambda pair: pair[1])[0]
+        pruned = prune_space(space, measured, PruningConfig(quantile=0.5))
+        assert best.hyper.hidden_dim in pruned.hyper_space.hidden_dims
+
+    def test_pruned_space_remains_searchable(self):
+        space = JointSearchSpace()
+        pruned = prune_space(space, _measured(space), PruningConfig(quantile=0.2))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert pruned.sample(rng).is_searchable()
+
+    def test_sampling_from_pruned_space_works(self):
+        space = JointSearchSpace()
+        pruned = prune_space(space, _measured(space))
+        batch = pruned.sample_batch(5, np.random.default_rng(1))
+        assert len(batch) == 5
+
+    def test_rejects_too_few_samples(self):
+        space = JointSearchSpace()
+        with pytest.raises(ValueError):
+            prune_space(space, _measured(space, count=1))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PruningConfig(quantile=0.0)
+
+    def test_quantile_one_keeps_everything_used(self):
+        space = JointSearchSpace()
+        measured = _measured(space, count=40)
+        pruned = prune_space(space, measured, PruningConfig(quantile=1.0))
+        used_h = {ah.hyper.hidden_dim for ah, _ in measured}
+        assert set(pruned.hyper_space.hidden_dims) == used_h

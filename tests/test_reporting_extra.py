@@ -1,0 +1,41 @@
+"""Additional tests for result reporting."""
+
+from repro.experiments import Aggregate, ResultTable
+
+
+class TestWinCounts:
+    def _table(self):
+        table = ResultTable(title="T")
+        table.add("D1", "MAE", "ours", Aggregate(1.0, 0.0))
+        table.add("D1", "MAE", "theirs", Aggregate(2.0, 0.0))
+        table.add("D2", "MAE", "ours", Aggregate(3.0, 0.0))
+        table.add("D2", "MAE", "theirs", Aggregate(2.5, 0.0))
+        table.add("D1", "CORR", "ours", Aggregate(0.9, 0.0))
+        table.add("D1", "CORR", "theirs", Aggregate(0.8, 0.0))
+        return table
+
+    def test_win_counts(self):
+        counts = self._table().win_counts()
+        assert counts == {"ours": 2, "theirs": 1}
+
+    def test_win_counts_after_mark_best(self):
+        table = self._table()
+        table.mark_best()
+        assert table.win_counts() == {"ours": 2, "theirs": 1}
+
+    def test_non_numeric_cells_ignored(self):
+        table = ResultTable(title="T")
+        table.add("D", "Arch", "a", "Arch(C=3: ...)")
+        table.add("D", "Arch", "b", "Arch(C=4: ...)")
+        assert table.win_counts() == {"a": 0, "b": 0}
+
+    def test_single_column_rows_not_counted(self):
+        table = ResultTable(title="T")
+        table.add("D", "MAE", "only", "1.0")
+        assert table.win_counts() == {"only": 0}
+
+    def test_percentage_cells_parsed(self):
+        table = ResultTable(title="T")
+        table.add("D", "MAPE", "a", "10.5%")
+        table.add("D", "MAPE", "b", "12.5%")
+        assert table.win_counts()["a"] == 1

@@ -1,0 +1,125 @@
+"""Tests for the supernet-based search (the predecessor framework)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.data import CTSData
+from repro.operators import OperatorContext
+from repro.supernet import (
+    MixedOperation,
+    SuperNet,
+    SuperNetForecaster,
+    SupernetConfig,
+    supernet_search,
+)
+from repro.tasks import Task
+
+OPS = ("gdcc", "dgcn", "skip")
+
+
+def _context(n=4, h=8):
+    return OperatorContext(hidden_dim=h, n_nodes=n, rng=np.random.default_rng(0))
+
+
+def _task(t=180, n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    steps = np.arange(t)
+    values = np.stack(
+        [np.sin(2 * np.pi * steps / 12 + k) + 0.1 * rng.standard_normal(t) for k in range(n)]
+    )
+    return Task(
+        CTSData("toy", values[..., None].astype(np.float32), np.ones((n, n), np.float32), "test"),
+        p=6, q=3, max_train_windows=96,
+    )
+
+
+class TestMixedOperation:
+    def test_weighted_sum_shape(self):
+        mixed = MixedOperation(_context(), OPS, np.random.default_rng(0))
+        out = mixed(Tensor(np.random.default_rng(1).standard_normal((2, 8, 4, 6)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 6)
+
+    def test_weights_sum_to_one(self):
+        mixed = MixedOperation(_context(), OPS, np.random.default_rng(0))
+        np.testing.assert_allclose(mixed.weights().numpy().sum(), 1.0, rtol=1e-5)
+
+    def test_strongest_reports_argmax(self):
+        mixed = MixedOperation(_context(), OPS, np.random.default_rng(0))
+        mixed.alpha.data = np.array([0.0, 5.0, 0.0], dtype=np.float32)
+        name, weight = mixed.strongest()
+        assert name == "dgcn"
+        assert weight > 0.8
+
+    def test_alpha_receives_gradient(self):
+        mixed = MixedOperation(_context(), OPS, np.random.default_rng(0))
+        out = mixed(Tensor(np.random.default_rng(1).standard_normal((1, 8, 4, 6)).astype(np.float32)))
+        out.sum().backward()
+        assert mixed.alpha.grad is not None
+
+    def test_rejects_single_candidate(self):
+        with pytest.raises(ValueError):
+            MixedOperation(_context(), ("skip",), np.random.default_rng(0))
+
+
+class TestSuperNet:
+    def test_forward_shape(self):
+        net = SuperNet(3, _context(), OPS)
+        out = net(Tensor(np.random.default_rng(0).standard_normal((2, 8, 4, 6)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 6)
+
+    def test_edge_count_is_full_dag(self):
+        net = SuperNet(4, _context(), OPS)
+        assert len(net.pairs) == 6  # C(4,2)
+
+    def test_parameter_partition(self):
+        net = SuperNet(3, _context(), OPS)
+        alphas = net.architecture_parameters()
+        others = net.operator_parameters()
+        assert len(alphas) == 3
+        assert not ({id(a) for a in alphas} & {id(p) for p in others})
+        assert len(alphas) + len(others) == len(list(net.parameters()))
+
+    def test_derived_architecture_valid(self):
+        net = SuperNet(4, _context(), OPS)
+        arch = net.derive_architecture()
+        arch.validate()
+        assert arch.num_nodes == 4
+
+    def test_derivation_respects_alpha(self):
+        net = SuperNet(3, _context(), OPS)
+        for mixed in net.mixed:
+            mixed.alpha.data = np.array([10.0, 0.0, 0.0], dtype=np.float32)
+        arch = net.derive_architecture()
+        assert all(edge.op == "gdcc" for edge in arch.edges)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            SuperNet(1, _context(), OPS)
+
+
+class TestSupernetSearch:
+    def test_search_returns_valid_architecture(self):
+        result = supernet_search(
+            _task(),
+            SupernetConfig(num_nodes=3, hidden_dim=8, epochs=2, batch_size=32),
+            operators=OPS,
+        )
+        result.architecture.validate()
+        assert len(result.train_losses) == 2
+
+    def test_training_reduces_loss(self):
+        result = supernet_search(
+            _task(),
+            SupernetConfig(num_nodes=3, hidden_dim=8, epochs=3, batch_size=32),
+            operators=OPS,
+        )
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_forecaster_shape(self):
+        model = SuperNetForecaster(
+            num_nodes=3, n_series=4, n_features=1, horizon=3, hidden_dim=8,
+            operators=OPS,
+        )
+        out = model(np.zeros((2, 6, 4, 1), dtype=np.float32))
+        assert out.shape == (2, 3, 4, 1)

@@ -1,0 +1,155 @@
+"""Tests for the task abstraction, enrichment, and the early-validation proxy."""
+
+import numpy as np
+import pytest
+
+from repro.data import CTSData, get_dataset
+from repro.space import JointSearchSpace, HyperSpace
+from repro.tasks import (
+    EnrichmentConfig,
+    ProxyConfig,
+    Task,
+    derive_subset,
+    enrich_tasks,
+    measure_arch_hyper,
+    supported_settings,
+)
+
+TINY_HYPER = HyperSpace(
+    num_blocks=(1,), num_nodes=(3,), hidden_dims=(8,), output_dims=(8,),
+    output_modes=(0, 1), dropout=(0, 1),
+)
+
+
+def _toy_data(n=4, t=300, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(10, 2, size=(n, t, 1)).astype(np.float32)
+    adj = np.ones((n, n), dtype=np.float32)
+    return CTSData("toy", values, adj, "test")
+
+
+class TestTask:
+    def test_name_encodes_setting(self):
+        task = Task(_toy_data(), p=12, q=12)
+        assert task.name == "toy/P12-Q12(M)"
+        assert Task(_toy_data(), p=12, q=3, single_step=True).name.endswith("(S)")
+
+    def test_horizon(self):
+        assert Task(_toy_data(), p=12, q=12).horizon == 12
+        assert Task(_toy_data(), p=12, q=3, single_step=True).horizon == 1
+
+    def test_rejects_too_short_dataset(self):
+        with pytest.raises(ValueError):
+            Task(_toy_data(t=50), p=24, q=24)
+
+    def test_rejects_nonpositive_setting(self):
+        with pytest.raises(ValueError):
+            Task(_toy_data(), p=0, q=12)
+
+    def test_prepared_splits_and_scaling(self):
+        task = Task(_toy_data(), p=6, q=6, split_ratio=(6, 2, 2))
+        prepared = task.prepared
+        assert len(prepared.train) > len(prepared.val)
+        # Training windows are standardized (approximately zero mean).
+        assert abs(prepared.train.x.mean()) < 0.3
+
+    def test_inverse_recovers_units(self):
+        task = Task(_toy_data(), p=6, q=6)
+        prepared = task.prepared
+        raw = prepared.inverse(prepared.train.y)
+        assert 5 < raw.mean() < 15  # original scale had mean 10
+
+    def test_prepared_is_cached(self):
+        task = Task(_toy_data(), p=6, q=6)
+        assert task.prepared is task.prepared
+
+    def test_embedding_windows_shape(self):
+        task = Task(_toy_data(), p=6, q=6)
+        windows = task.embedding_windows(max_windows=5)
+        assert windows.ndim == 4
+        assert windows.shape[1] == 4  # N
+        assert windows.shape[2] == 12  # S = P + Q
+        assert windows.shape[0] <= 5
+
+    def test_embedding_windows_depend_on_setting(self):
+        data = _toy_data()
+        w1 = Task(data, p=6, q=6).embedding_windows()
+        w2 = Task(data, p=12, q=12).embedding_windows()
+        assert w1.shape[2] != w2.shape[2]
+
+
+class TestEnrichment:
+    def test_derive_subset_shrinks(self):
+        data = _toy_data(n=8, t=400)
+        subset = derive_subset(data, np.random.default_rng(0))
+        assert subset.n_series <= data.n_series
+        assert subset.n_steps <= data.n_steps
+        assert subset.adjacency.shape == (subset.n_series, subset.n_series)
+
+    def test_subset_values_come_from_source(self):
+        data = _toy_data(n=4, t=300)
+        subset = derive_subset(data, np.random.default_rng(1))
+        # Every subset row must appear somewhere in the source rows.
+        source_flat = data.values[:, :, 0]
+        row = subset.values[0, :, 0]
+        matches = [
+            np.where((source_flat[i, : data.n_steps - len(row) + 1] == row[0]))[0]
+            for i in range(data.n_series)
+        ]
+        assert any(m.size > 0 for m in matches)
+
+    def test_supported_settings_filters_long_horizons(self):
+        data = _toy_data(t=100)
+        settings = supported_settings(data, [(6, 6), (48, 48)], min_windows=10)
+        assert (6, 6) in settings
+        assert (48, 48) not in settings
+
+    def test_enrich_tasks_produces_valid_tasks(self):
+        sources = [_toy_data(n=6, t=400, seed=s) for s in range(2)]
+        tasks = enrich_tasks(sources, [(6, 6), (12, 12)], n_subsets=4, seed=0)
+        assert len(tasks) >= 4
+        for task in tasks:
+            assert task.data.n_steps >= task.window_span * 3
+
+    def test_enrich_tasks_deterministic(self):
+        sources = [_toy_data(n=6, t=400)]
+        t1 = enrich_tasks(sources, [(6, 6)], n_subsets=3, seed=5)
+        t2 = enrich_tasks(sources, [(6, 6)], n_subsets=3, seed=5)
+        assert [t.name for t in t1] == [t.name for t in t2]
+
+    def test_enrich_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            enrich_tasks([], [(6, 6)], n_subsets=1)
+        with pytest.raises(ValueError):
+            enrich_tasks([_toy_data()], [], n_subsets=1)
+
+    def test_enrichment_config_validation(self):
+        with pytest.raises(ValueError):
+            EnrichmentConfig(min_fraction_steps=0.0)
+
+
+class TestProxy:
+    def test_proxy_returns_finite_error(self):
+        task = Task(_toy_data(t=200), p=6, q=3)
+        space = JointSearchSpace(hyper_space=TINY_HYPER)
+        ah = space.sample(np.random.default_rng(0))
+        score = measure_arch_hyper(ah, task, ProxyConfig(epochs=1, batch_size=32))
+        assert np.isfinite(score)
+        assert score > 0
+
+    def test_proxy_is_deterministic(self):
+        task = Task(_toy_data(t=200), p=6, q=3)
+        space = JointSearchSpace(hyper_space=TINY_HYPER)
+        ah = space.sample(np.random.default_rng(1))
+        config = ProxyConfig(epochs=1, batch_size=32, seed=3)
+        assert measure_arch_hyper(ah, task, config) == pytest.approx(
+            measure_arch_hyper(ah, task, config)
+        )
+
+    def test_real_dataset_smoke(self):
+        data = get_dataset("SZ-TAXI", seed=0)
+        task = Task(data, p=6, q=3)
+        space = JointSearchSpace(hyper_space=TINY_HYPER)
+        ah = space.sample(np.random.default_rng(0))
+        score = measure_arch_hyper(ah, task, ProxyConfig(epochs=1, batch_size=64))
+        assert np.isfinite(score)

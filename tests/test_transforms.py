@@ -1,0 +1,110 @@
+"""Tests for time series augmentations, including failure injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.transforms import (
+    jitter,
+    magnitude_scale,
+    missing_blocks,
+    random_crop,
+    timestamp_mask,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _series(t=40, f=2):
+    return RNG.normal(5, 2, size=(3, t, f))
+
+
+class TestJitter:
+    def test_preserves_shape(self):
+        x = _series()
+        assert jitter(x, np.random.default_rng(0)).shape == x.shape
+
+    def test_noise_scales_with_sigma(self):
+        x = _series()
+        small = jitter(x, np.random.default_rng(1), sigma=0.01)
+        large = jitter(x, np.random.default_rng(1), sigma=0.5)
+        assert np.abs(large - x).mean() > np.abs(small - x).mean()
+
+
+class TestMagnitudeScale:
+    def test_scales_channels_independently(self):
+        x = np.ones((1, 10, 3))
+        out = magnitude_scale(x, np.random.default_rng(0), sigma=0.3)
+        channel_values = {round(float(out[0, 0, c]), 6) for c in range(3)}
+        assert len(channel_values) == 3
+
+    def test_preserves_shape(self):
+        x = _series()
+        assert magnitude_scale(x, np.random.default_rng(0)).shape == x.shape
+
+
+class TestRandomCrop:
+    def test_crop_length(self):
+        out = random_crop(_series(t=40), np.random.default_rng(0), crop_length=16)
+        assert out.shape[-2] == 16
+
+    def test_crop_is_contiguous_slice(self):
+        x = np.arange(20.0).reshape(1, 20, 1)
+        out = random_crop(x, np.random.default_rng(3), crop_length=5)
+        flat = out[0, :, 0]
+        np.testing.assert_allclose(np.diff(flat), 1.0)
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            random_crop(_series(t=10), np.random.default_rng(0), crop_length=11)
+
+    @given(st.integers(1, 30), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_crop_always_within_bounds(self, crop, seed):
+        x = _series(t=30)
+        out = random_crop(x, np.random.default_rng(seed), crop_length=crop)
+        assert out.shape[-2] == crop
+
+
+class TestMasking:
+    def test_mask_rate_zero_is_identity(self):
+        x = _series()
+        np.testing.assert_array_equal(timestamp_mask(x, np.random.default_rng(0), 0.0), x)
+
+    def test_mask_zeroes_roughly_rate(self):
+        x = np.ones((10, 100, 1))
+        out = timestamp_mask(x, np.random.default_rng(0), rate=0.3)
+        zero_fraction = (out == 0).mean()
+        assert 0.2 < zero_fraction < 0.4
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            timestamp_mask(_series(), np.random.default_rng(0), rate=1.0)
+
+
+class TestMissingBlocks:
+    def test_injects_zero_blocks(self):
+        x = np.ones((2, 50, 1))
+        out = missing_blocks(x, np.random.default_rng(0), n_blocks=2, block_length=5)
+        assert (out == 0).any()
+        assert out.shape == x.shape
+
+    def test_pipeline_survives_outages(self):
+        """A forecaster must stay finite when fed outage-corrupted data."""
+        from repro.core import build_forecaster
+        from repro.data import CTSData
+        from repro.space import JointSearchSpace, HyperSpace
+
+        rng = np.random.default_rng(0)
+        values = missing_blocks(
+            np.abs(RNG.normal(10, 2, size=(4, 80, 1))), rng, n_blocks=5, block_length=6
+        ).astype(np.float32)
+        data = CTSData("corrupted", values, np.ones((4, 4), np.float32), "test")
+        space = JointSearchSpace(
+            hyper_space=HyperSpace(num_blocks=(1,), num_nodes=(3,), hidden_dims=(8,),
+                                   output_dims=(8,), output_modes=(0,), dropout=(0,))
+        )
+        model = build_forecaster(space.sample(rng), data, horizon=3)
+        out = model(values.transpose(1, 0, 2)[None, :6])
+        assert np.isfinite(out.numpy()).all()
