@@ -77,9 +77,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     from .experiments import SCALES, pretrain_variant, run_zero_shot, target_task
+    from .runtime import configure_default_evaluator
 
     scale = SCALES[args.scale]
-    artifacts = pretrain_variant(scale, "full", seed=args.seed)
+    evaluator = configure_default_evaluator(
+        workers=args.workers, cache_enabled=not args.no_eval_cache
+    )
+    artifacts = pretrain_variant(scale, "full", seed=args.seed, evaluator=evaluator)
     setting = scale.setting(args.setting)
     task = target_task(scale, args.dataset, setting, seed=args.seed)
     print(f"zero-shot search on {task.name}...")
@@ -92,6 +96,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     scores = result.best_scores
     print(f"test MAE={scores.mae:.4f} RMSE={scores.rmse:.4f} MAPE={scores.mape:.2%}")
+    print(evaluator.stats.report())
     return 0
 
 
@@ -126,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--setting", default="P-12/Q-12")
     search.add_argument("--scale", default="tiny", choices=("tiny", "smoke"))
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="proxy-evaluation worker processes (default: $REPRO_WORKERS or 1)",
+    )
+    search.add_argument(
+        "--no-eval-cache",
+        action="store_true",
+        help="disable the on-disk proxy-evaluation score cache",
+    )
     search.set_defaults(func=_cmd_search)
 
     return parser

@@ -9,6 +9,9 @@ from .pairing import (
     all_ordered_pairs,
     dynamic_pairs,
     make_label,
+    ordered_pair_indices,
+    pair_index_arrays,
+    pair_labels,
 )
 from .pretrain import (
     PretrainConfig,
@@ -32,6 +35,9 @@ __all__ = [
     "all_ordered_pairs",
     "dynamic_pairs",
     "make_label",
+    "ordered_pair_indices",
+    "pair_index_arrays",
+    "pair_labels",
     "PretrainConfig",
     "PretrainHistory",
     "TaskSampleSet",

@@ -9,6 +9,7 @@ dynamic pairing of BRP-NAS/CTNAS adopted by the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -68,12 +69,47 @@ def dynamic_pairs(
     return pairs
 
 
+@lru_cache(maxsize=64)
+def ordered_pair_indices(count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index arrays of every ordered pair ``(i, j), i != j`` — vectorized.
+
+    The ``count -> indices`` template depends only on the pool size, so it is
+    memoized; callers must treat the returned (read-only) arrays as
+    immutable.
+    """
+    index_a = np.repeat(np.arange(count), count)
+    index_b = np.tile(np.arange(count), count)
+    keep = index_a != index_b
+    index_a, index_b = index_a[keep], index_b[keep]
+    index_a.setflags(write=False)
+    index_b.setflags(write=False)
+    return index_a, index_b
+
+
+def pair_labels(
+    scores: np.ndarray, index_a: np.ndarray, index_b: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`make_label` over index arrays."""
+    scores = np.asarray(scores)
+    return (scores[index_a] <= scores[index_b]).astype(np.float32)
+
+
+def pair_index_arrays(
+    pairs: list[ComparisonPair],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(index_a, index_b, labels)`` arrays from a pair list — built once so
+    training loops don't re-derive them per use."""
+    index_a = np.fromiter((p.index_a for p in pairs), dtype=np.int64, count=len(pairs))
+    index_b = np.fromiter((p.index_b for p in pairs), dtype=np.int64, count=len(pairs))
+    labels = np.fromiter((p.label for p in pairs), dtype=np.float32, count=len(pairs))
+    return index_a, index_b, labels
+
+
 def all_ordered_pairs(scores: np.ndarray) -> list[ComparisonPair]:
     """Every ordered pair (used by evaluation, not training)."""
-    count = len(scores)
+    index_a, index_b = ordered_pair_indices(len(scores))
+    labels = pair_labels(scores, index_a, index_b)
     return [
-        ComparisonPair(i, j, make_label(scores[i], scores[j]))
-        for i in range(count)
-        for j in range(count)
-        if i != j
+        ComparisonPair(int(i), int(j), float(label))
+        for i, j, label in zip(index_a, index_b, labels)
     ]

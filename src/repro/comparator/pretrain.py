@@ -13,6 +13,7 @@ Stages:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,12 +23,20 @@ from ..optim import Adam, clip_grad_norm
 from ..space.archhyper import ArchHyper
 from ..space.encoding import encode_batch
 from ..space.sampling import JointSearchSpace
-from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.proxy import ProxyConfig
 from ..tasks.task import Task
+
+if TYPE_CHECKING:
+    from ..runtime import ProxyEvaluator
 from ..utils.seeding import derive_rng
 from .ahc import Encodings
 from .curriculum import curriculum_schedule
-from .pairing import ComparisonPair, all_ordered_pairs, dynamic_pairs
+from .pairing import (
+    dynamic_pairs,
+    ordered_pair_indices,
+    pair_index_arrays,
+    pair_labels,
+)
 from .tahc import TAHC
 
 
@@ -92,26 +101,41 @@ def collect_task_samples(
     space: JointSearchSpace,
     embedder,
     config: PretrainConfig = PretrainConfig(),
+    evaluator: "ProxyEvaluator | None" = None,
 ) -> list[TaskSampleSet]:
     """Measure shared + random arch-hypers on every task (Algorithm 1, l.1–7).
 
     ``embedder`` is a :class:`~repro.embedding.task_encoder.PreliminaryEmbedder`
     (TS2Vec in the full framework).
+
+    All ``(candidate, task)`` evaluations are fanned out through one
+    ``evaluator`` batch (default: the process-wide
+    :func:`~repro.runtime.get_default_evaluator`) so the parallel backend
+    sees the whole cross-task workload at once.  Candidate pools are sampled
+    up front, in task order, so the RNG stream — and therefore every sampled
+    arch-hyper — is identical to the historical per-task loop.
     """
     from ..embedding.task_encoder import preliminary_task_embedding
+    from ..runtime import get_default_evaluator
 
     if not tasks:
         raise ValueError("no tasks given")
     rng = derive_rng(config.seed, "collect")
     shared = space.sample_batch(config.shared_samples, rng)
+    pools = [
+        shared + space.sample_batch(config.random_samples, rng) for _ in tasks
+    ]
+    evaluator = evaluator or get_default_evaluator()
+    jobs = [(ah, task) for task, pool in zip(tasks, pools) for ah in pool]
+    flat_scores = evaluator.evaluate_pairs(jobs, config.proxy)
+
     sample_sets: list[TaskSampleSet] = []
-    for task_index, task in enumerate(tasks):
-        random_pool = space.sample_batch(config.random_samples, rng)
-        candidates = shared + random_pool
+    cursor = 0
+    for task, candidates in zip(tasks, pools):
         scores = np.array(
-            [measure_arch_hyper(ah, task, config.proxy) for ah in candidates],
-            dtype=np.float64,
+            flat_scores[cursor : cursor + len(candidates)], dtype=np.float64
         )
+        cursor += len(candidates)
         preliminary = preliminary_task_embedding(
             embedder, task.embedding_windows()
         )
@@ -137,13 +161,14 @@ def _index_encodings(encodings: Encodings, index: np.ndarray) -> Encodings:
 
 
 def _task_pair_loss(
-    model: TAHC, sample_set: TaskSampleSet, pairs: list[ComparisonPair]
+    model: TAHC,
+    sample_set: TaskSampleSet,
+    index_a: np.ndarray,
+    index_b: np.ndarray,
+    labels: np.ndarray,
 ) -> tuple[Tensor, float]:
-    """BCE loss and accuracy over one task's pair batch."""
+    """BCE loss and accuracy over one task's pair batch (as index arrays)."""
     encodings = sample_set.ensure_encodings()
-    index_a = np.array([p.index_a for p in pairs])
-    index_b = np.array([p.index_b for p in pairs])
-    labels = np.array([p.label for p in pairs], dtype=np.float32)
     task_embedding = model.encode_task(sample_set.preliminary)
     logits = model(
         task_embedding,
@@ -184,7 +209,10 @@ def pretrain_tahc(
             pairs = dynamic_pairs(
                 sample_set.scores[:pool_size], rng, config.pairs_per_task
             )
-            loss, accuracy = _task_pair_loss(model, sample_set, pairs)
+            index_a, index_b, labels = pair_index_arrays(pairs)
+            loss, accuracy = _task_pair_loss(
+                model, sample_set, index_a, index_b, labels
+            )
             optimizer.zero_grad()
             loss.backward()
             if config.grad_clip:
@@ -212,8 +240,13 @@ def pretrain_tahc(
 def evaluate_comparator(
     model: TAHC, sample_set: TaskSampleSet
 ) -> float:
-    """Pairwise accuracy of the comparator on one task's measured samples."""
-    pairs = all_ordered_pairs(sample_set.scores)
+    """Pairwise accuracy of the comparator on one task's measured samples.
+
+    Uses the memoized O(n²) ordered-pair index template and the sample set's
+    cached encodings — no per-call pair-object construction.
+    """
+    index_a, index_b = ordered_pair_indices(len(sample_set.scores))
+    labels = pair_labels(sample_set.scores, index_a, index_b)
     with no_grad():
-        _, accuracy = _task_pair_loss(model, sample_set, pairs)
+        _, accuracy = _task_pair_loss(model, sample_set, index_a, index_b, labels)
     return accuracy

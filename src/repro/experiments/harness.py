@@ -12,9 +12,12 @@ Responsibilities:
 
 from __future__ import annotations
 
+import logging
+import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -45,9 +48,25 @@ from ..tasks.proxy import ProxyConfig
 from ..tasks.task import Task
 from .config import ExperimentScale, Setting
 
+if TYPE_CHECKING:
+    from ..runtime import ProxyEvaluator
+
+logger = logging.getLogger(__name__)
+
 VARIANTS = ("full", "wo_ts2vec", "wo_set_transformer", "wo_shared")
 
-DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+# Overridable so CI (and parallel local runs) can isolate their caches.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get(
+        CACHE_DIR_ENV, Path(__file__).resolve().parents[3] / "benchmarks" / ".cache"
+    )
+)
+
+# Embedded in every artifact pickle; bumping it invalidates old files cleanly
+# (they are discarded and recomputed) instead of crashing the loader.
+ARTIFACT_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -164,13 +183,75 @@ def _pretrain_config(scale: ExperimentScale, variant: str, seed: int) -> Pretrai
     )
 
 
+def _load_artifact_cache(cache_path: Path) -> PretrainedArtifacts | None:
+    """Load one cached artifact file; ``None`` on any corruption or mismatch.
+
+    A corrupt, truncated, stale, or wrong-version file is logged, deleted,
+    and treated as a miss — pre-training then simply recomputes it.
+    """
+    try:
+        with open(cache_path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        KeyError,
+        TypeError,
+        ValueError,
+        MemoryError,
+        OSError,
+    ) as exc:
+        logger.warning(
+            "discarding corrupt artifact cache %s (%s: %s)",
+            cache_path, type(exc).__name__, exc,
+        )
+        cache_path.unlink(missing_ok=True)
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format_version") != ARTIFACT_FORMAT_VERSION
+        or not isinstance(payload.get("artifacts"), PretrainedArtifacts)
+    ):
+        logger.warning("discarding stale-format artifact cache %s", cache_path)
+        cache_path.unlink(missing_ok=True)
+        return None
+    return payload["artifacts"]
+
+
+def _save_artifact_cache(cache_path: Path, artifacts: PretrainedArtifacts) -> None:
+    """Atomically persist one artifact file (temp + ``os.replace``)."""
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    temp = cache_path.with_name(f"{cache_path.name}.tmp{os.getpid()}")
+    try:
+        with open(temp, "wb") as handle:
+            pickle.dump(
+                {"format_version": ARTIFACT_FORMAT_VERSION, "artifacts": artifacts},
+                handle,
+            )
+        os.replace(temp, cache_path)
+    except OSError as exc:
+        logger.warning("failed to write artifact cache %s: %s", cache_path, exc)
+        temp.unlink(missing_ok=True)
+
+
 def pretrain_variant(
     scale: ExperimentScale,
     variant: str = "full",
     seed: int = 0,
     cache_dir: Path | None = DEFAULT_CACHE_DIR,
+    evaluator: "ProxyEvaluator | None" = None,
 ) -> PretrainedArtifacts:
-    """Pre-train (or load from cache) a T-AHC variant at the given scale."""
+    """Pre-train (or load from cache) a T-AHC variant at the given scale.
+
+    ``evaluator`` fans out the proxy-label measurements of the sample
+    collection stage; defaults to the process-wide
+    :func:`~repro.runtime.get_default_evaluator`.
+    """
     if variant not in VARIANTS:
         raise KeyError(f"unknown variant {variant!r}; known: {VARIANTS}")
     cache_path = None
@@ -186,9 +267,9 @@ def pretrain_variant(
             Path(cache_dir)
             / f"tahc-{scale.name}-{fingerprint}-{variant}-seed{seed}.pkl"
         )
-        if cache_path.exists():
-            with open(cache_path, "rb") as handle:
-                return pickle.load(handle)
+        cached = _load_artifact_cache(cache_path)
+        if cached is not None:
+            return cached
 
     embedder_kind = "mlp" if variant == "wo_ts2vec" else "ts2vec"
     embedder = build_preliminary_embedder(
@@ -208,7 +289,9 @@ def pretrain_variant(
 
     space = JointSearchSpace(hyper_space=scale.hyper_space)
     config = _pretrain_config(scale, variant, seed)
-    sample_sets = collect_task_samples(tasks, space, embedder, config)
+    sample_sets = collect_task_samples(
+        tasks, space, embedder, config, evaluator=evaluator
+    )
     model = _build_variant_model(scale, variant, seed)
     history = pretrain_tahc(model, sample_sets, config)
 
@@ -221,9 +304,7 @@ def pretrain_variant(
         history=history,
     )
     if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        with open(cache_path, "wb") as handle:
-            pickle.dump(artifacts, handle)
+        _save_artifact_cache(cache_path, artifacts)
     return artifacts
 
 

@@ -1,0 +1,81 @@
+"""Runtime layer: the parallel, content-addressed proxy-evaluation engine.
+
+The early-validation proxy R' (paper Eq. 22) dominates wall-clock in both
+comparator pre-training and per-task search.  This package centralizes every
+``measure_arch_hyper`` call behind a :class:`ProxyEvaluator` with
+
+* pluggable **serial** and **process-pool** backends (bitwise-identical
+  scores; worker count from ``--workers`` / ``$REPRO_WORKERS``), and
+* a **content-addressed on-disk score cache** keyed by a stable fingerprint
+  of (arch-hyper, task, proxy config), with atomic writes and
+  corruption-safe versioned loads.
+
+Call sites take an optional ``evaluator`` argument and fall back to the
+process-wide default from :func:`get_default_evaluator`, which the CLI (and
+tests) reconfigure via :func:`set_default_evaluator` /
+:func:`configure_default_evaluator`.
+
+See ``docs/runtime.md`` for the full picture.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .cache import CACHE_DIR_ENV, CACHE_FORMAT_VERSION, EvalCache, default_cache_dir
+from .evaluator import EvalStats, ProxyEvaluator, WORKERS_ENV, resolve_workers
+from .fingerprint import CACHE_KEY_VERSION, proxy_fingerprint, task_fingerprint_material
+
+EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
+
+_default_evaluator: ProxyEvaluator | None = None
+
+
+def _cache_enabled_by_env() -> bool:
+    return os.environ.get(EVAL_CACHE_ENV, "1").strip().lower() not in ("0", "off", "no", "false")
+
+
+def get_default_evaluator() -> ProxyEvaluator:
+    """The process-wide evaluator used when call sites are not handed one."""
+    global _default_evaluator
+    if _default_evaluator is None:
+        cache = EvalCache() if _cache_enabled_by_env() else None
+        _default_evaluator = ProxyEvaluator(workers=None, cache=cache)
+    return _default_evaluator
+
+
+def set_default_evaluator(evaluator: ProxyEvaluator | None) -> None:
+    """Install (or, with ``None``, reset) the process-wide evaluator."""
+    global _default_evaluator
+    _default_evaluator = evaluator
+
+
+def configure_default_evaluator(
+    workers: int | None = None,
+    cache_enabled: bool = True,
+    cache_dir=None,
+) -> ProxyEvaluator:
+    """Build, install, and return a default evaluator from CLI-style knobs."""
+    cache = EvalCache(cache_dir) if cache_enabled else None
+    evaluator = ProxyEvaluator(workers=workers, cache=cache)
+    set_default_evaluator(evaluator)
+    return evaluator
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "CACHE_KEY_VERSION",
+    "EVAL_CACHE_ENV",
+    "EvalCache",
+    "EvalStats",
+    "ProxyEvaluator",
+    "WORKERS_ENV",
+    "configure_default_evaluator",
+    "default_cache_dir",
+    "get_default_evaluator",
+    "proxy_fingerprint",
+    "resolve_workers",
+    "set_default_evaluator",
+    "task_fingerprint_material",
+]

@@ -1,0 +1,189 @@
+"""The proxy-evaluation engine: fan-out backends plus score caching.
+
+Every comparator training label and every search-loop candidate costs one
+``measure_arch_hyper`` call — a k-epoch forecaster training — which the paper
+amortizes across eight GPUs.  :class:`ProxyEvaluator` is the single choke
+point for those calls:
+
+* **serial backend** (``workers=1``, the default) — an in-process loop,
+* **process-pool backend** (``workers>1``) — a
+  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out.
+
+Both backends are bitwise-identical: each evaluation is self-contained and
+deterministically seeded by its :class:`~repro.tasks.proxy.ProxyConfig`, so
+neither execution order nor process boundaries can change a score.  Results
+from ``ProcessPoolExecutor.map`` are consumed in submission order, so the
+returned list is position-stable too.
+
+An optional :class:`~repro.runtime.cache.EvalCache` short-circuits
+evaluations whose fingerprint has been scored before; hit/miss counters and
+per-evaluation wall times are accumulated on :attr:`ProxyEvaluator.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..space.archhyper import ArchHyper
+from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.task import Task
+from .cache import EvalCache
+from .fingerprint import proxy_fingerprint
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_WORKERS``, else 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(env) if env else 1
+    return max(1, int(workers))
+
+
+@dataclass
+class EvalStats:
+    """Counters and timings accumulated across an evaluator's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    eval_seconds: list[float] = field(default_factory=list)
+    batch_seconds: float = 0.0
+    batches: int = 0
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.eval_seconds)
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def report(self) -> str:
+        """One-line human summary (surfaced by the CLI after a search)."""
+        eval_wall = float(np.sum(self.eval_seconds)) if self.eval_seconds else 0.0
+        mean = eval_wall / self.evaluations if self.evaluations else 0.0
+        return (
+            f"proxy evaluations: {self.misses} fresh, {self.hits} cache hits "
+            f"({self.hit_rate:.1%} hit rate); "
+            f"eval wall {eval_wall:.2f}s total, {mean:.3f}s/eval mean; "
+            f"{self.batches} batches in {self.batch_seconds:.2f}s"
+        )
+
+
+def _timed_eval(payload: tuple) -> tuple[float, float]:
+    """Run one evaluation and report (score, wall seconds).
+
+    Module-level so the process-pool backend can pickle it; the eval function
+    itself rides along in the payload and must be picklable too.
+    """
+    eval_fn, arch_hyper, task, config = payload
+    start = time.perf_counter()
+    score = eval_fn(arch_hyper, task, config)
+    return float(score), time.perf_counter() - start
+
+
+class ProxyEvaluator:
+    """Fans out ``(arch_hyper, task)`` proxy evaluations, with caching.
+
+    Args:
+        workers: parallel worker processes; ``None`` reads ``$REPRO_WORKERS``
+            (default 1 = serial, in-process).
+        cache: an :class:`EvalCache`, or ``None`` to disable score caching.
+        eval_fn: the evaluation function ``(ah, task, config) -> float``;
+            defaults to :func:`~repro.tasks.proxy.measure_arch_hyper`.  Must
+            be a picklable (module-level) callable when ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: EvalCache | None = None,
+        eval_fn: Callable[[ArchHyper, Task, ProxyConfig], float] | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.eval_fn = eval_fn or measure_arch_hyper
+        self.stats = EvalStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, arch_hyper: ArchHyper, task: Task, config: ProxyConfig = ProxyConfig()
+    ) -> float:
+        """Score one arch-hyper on one task."""
+        return self.evaluate_pairs([(arch_hyper, task)], config)[0]
+
+    def evaluate_many(
+        self,
+        arch_hypers: Sequence[ArchHyper],
+        task: Task,
+        config: ProxyConfig = ProxyConfig(),
+    ) -> list[float]:
+        """Score many arch-hypers on a single task."""
+        return self.evaluate_pairs([(ah, task) for ah in arch_hypers], config)
+
+    def evaluate_pairs(
+        self,
+        pairs: Sequence[tuple[ArchHyper, Task]],
+        config: ProxyConfig = ProxyConfig(),
+    ) -> list[float]:
+        """Score arbitrary ``(arch_hyper, task)`` pairs, order-preserving.
+
+        Cache hits are filled in without touching a backend; the remaining
+        misses run on the serial or process-pool backend and are written back
+        to the cache.
+        """
+        start = time.perf_counter()
+        scores: list[float | None] = [None] * len(pairs)
+        jobs: list[tuple[int, str | None, ArchHyper, Task]] = []
+        for position, (arch_hyper, task) in enumerate(pairs):
+            fingerprint = None
+            if self.cache is not None:
+                fingerprint = proxy_fingerprint(arch_hyper, task, config)
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    scores[position] = cached
+                    self.stats.hits += 1
+                    continue
+            self.stats.misses += 1
+            jobs.append((position, fingerprint, arch_hyper, task))
+
+        if jobs:
+            results = self._run_backend(jobs, config)
+            for (position, fingerprint, _, _), (score, seconds) in zip(jobs, results):
+                scores[position] = score
+                self.stats.eval_seconds.append(seconds)
+                if self.cache is not None and fingerprint is not None:
+                    self.cache.put(fingerprint, score, seconds)
+
+        self.stats.batches += 1
+        self.stats.batch_seconds += time.perf_counter() - start
+        assert all(score is not None for score in scores)
+        return [float(score) for score in scores]  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    def _run_backend(
+        self, jobs: list[tuple[int, str | None, ArchHyper, Task]], config: ProxyConfig
+    ) -> list[tuple[float, float]]:
+        payloads = [
+            (self.eval_fn, arch_hyper, task, config)
+            for _, _, arch_hyper, task in jobs
+        ]
+        if self.workers <= 1 or len(payloads) <= 1:
+            return [_timed_eval(payload) for payload in payloads]
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(payloads))) as pool:
+            return list(pool.map(_timed_eval, payloads))

@@ -1,0 +1,70 @@
+"""Stable fingerprints for proxy evaluations.
+
+A fingerprint is the content address of one ``R'(ah)`` measurement: it
+captures everything that determines the score — the arch-hyper encoding, the
+task identity (dataset contents and forecasting setting), and the
+:class:`~repro.tasks.proxy.ProxyConfig`.  Two evaluations with the same
+fingerprint are guaranteed to produce bitwise-identical scores, which is what
+makes the on-disk cache and the cross-backend determinism guarantee sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from ..space.archhyper import ArchHyper
+from ..tasks.proxy import ProxyConfig
+from ..tasks.task import Task
+
+# Bump whenever the semantics of measure_arch_hyper or of this keying change;
+# old cache entries then simply stop matching.
+CACHE_KEY_VERSION = 1
+
+
+def _array_digest(array: np.ndarray) -> str:
+    """SHA-256 over an array's shape, dtype, and raw bytes."""
+    hasher = hashlib.sha256()
+    hasher.update(str(array.shape).encode())
+    hasher.update(array.dtype.str.encode())
+    hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
+
+
+def task_fingerprint_material(task: Task) -> dict:
+    """The JSON-able identity of a task, including its data contents.
+
+    Hashing the values/adjacency arrays (not just the dataset name) means
+    regenerating a synthetic dataset with a different seed, or enriching it
+    into a different subset, invalidates cached scores automatically.
+    """
+    data = task.data
+    return {
+        "dataset": data.name,
+        "domain": data.domain,
+        "steps_per_day": data.steps_per_day,
+        "values_sha256": _array_digest(data.values),
+        "adjacency_sha256": _array_digest(data.adjacency),
+        "p": task.p,
+        "q": task.q,
+        "single_step": task.single_step,
+        "split_ratio": list(task.split_ratio),
+        "max_train_windows": task.max_train_windows,
+    }
+
+
+def proxy_fingerprint(
+    arch_hyper: ArchHyper, task: Task, config: ProxyConfig
+) -> str:
+    """Content address of one proxy evaluation (hex SHA-256)."""
+    material = {
+        "key_version": CACHE_KEY_VERSION,
+        "arch_hyper": arch_hyper.to_dict(),
+        "task": task_fingerprint_material(task),
+        "proxy": asdict(config),
+    }
+    payload = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()

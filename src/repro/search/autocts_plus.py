@@ -21,19 +21,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..comparator.ahc import AHC
-from ..comparator.pairing import dynamic_pairs
+from ..comparator.pairing import dynamic_pairs, pair_index_arrays
 from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..metrics import ForecastScores
 from ..nn.loss import bce_with_logits
 from ..optim import Adam
+from typing import TYPE_CHECKING
+
 from ..space.archhyper import ArchHyper
 from ..space.encoding import encode_batch
 from ..space.sampling import JointSearchSpace
-from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.proxy import ProxyConfig
 from ..tasks.task import Task
 from ..utils.seeding import derive_rng
 from .evolutionary import EvolutionConfig, EvolutionarySearch
+
+if TYPE_CHECKING:
+    from ..runtime import ProxyEvaluator
 
 
 @dataclass(frozen=True)
@@ -67,20 +72,24 @@ class AutoCTSPlusSearch:
         self,
         space: JointSearchSpace | None = None,
         config: AutoCTSPlusConfig = AutoCTSPlusConfig(),
+        evaluator: "ProxyEvaluator | None" = None,
     ) -> None:
         self.space = space or JointSearchSpace()
         self.config = config
+        self.evaluator = evaluator
 
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
     def collect_samples(self, task: Task) -> list[tuple[ArchHyper, float]]:
         """Stage 1: measure random arch-hypers with the proxy on the task."""
+        from ..runtime import get_default_evaluator
+
         rng = derive_rng(self.config.seed, "autocts+-collect")
         candidates = self.space.sample_batch(self.config.n_measured_samples, rng)
-        return [
-            (ah, measure_arch_hyper(ah, task, self.config.proxy)) for ah in candidates
-        ]
+        evaluator = self.evaluator or get_default_evaluator()
+        scores = evaluator.evaluate_many(candidates, task, self.config.proxy)
+        return list(zip(candidates, scores))
 
     def train_comparator(
         self, measured: list[tuple[ArchHyper, float]]
@@ -96,9 +105,7 @@ class AutoCTSPlusSearch:
         losses: list[float] = []
         for _ in range(config.ahc_epochs):
             pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
-            index_a = np.array([p.index_a for p in pairs])
-            index_b = np.array([p.index_b for p in pairs])
-            labels = np.array([p.label for p in pairs], dtype=np.float32)
+            index_a, index_b, labels = pair_index_arrays(pairs)
             logits = ahc(
                 tuple(a[index_a] for a in encodings),
                 tuple(a[index_b] for a in encodings),

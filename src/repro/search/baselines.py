@@ -10,13 +10,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
-from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.proxy import ProxyConfig
 from ..tasks.task import Task
+
+if TYPE_CHECKING:
+    from ..runtime import ProxyEvaluator
 
 
 @dataclass
@@ -39,11 +43,16 @@ def random_search(
     n_candidates: int,
     proxy: ProxyConfig = ProxyConfig(),
     seed: int = 0,
+    evaluator: "ProxyEvaluator | None" = None,
 ) -> SearchTrace:
     """Evaluate ``n_candidates`` random arch-hypers with the proxy."""
+    from ..runtime import get_default_evaluator
+
     rng = np.random.default_rng(seed)
     candidates = space.sample_batch(n_candidates, rng)
-    scores = [measure_arch_hyper(ah, task, proxy) for ah in candidates]
+    scores = (evaluator or get_default_evaluator()).evaluate_many(
+        candidates, task, proxy
+    )
     return SearchTrace(candidates=candidates, scores=scores)
 
 
@@ -53,8 +62,11 @@ def grid_search_hyper(
     hidden_dims: tuple[int, ...],
     output_dims: tuple[int, ...],
     proxy: ProxyConfig = ProxyConfig(),
+    evaluator: "ProxyEvaluator | None" = None,
 ) -> SearchTrace:
     """Sweep H x I around a fixed architecture (the baselines' grid search)."""
+    from ..runtime import get_default_evaluator
+
     candidates = [
         ArchHyper(
             arch=base.arch,
@@ -63,5 +75,7 @@ def grid_search_hyper(
         for h in hidden_dims
         for i in output_dims
     ]
-    scores = [measure_arch_hyper(ah, task, proxy) for ah in candidates]
+    scores = (evaluator or get_default_evaluator()).evaluate_many(
+        candidates, task, proxy
+    )
     return SearchTrace(candidates=candidates, scores=scores)

@@ -86,6 +86,48 @@ class TestPretrainAndSearch:
         for key in state1:
             np.testing.assert_array_equal(state1[key], state2[key])
 
+    def test_cache_write_is_atomic(self, tmp_path):
+        pretrain_variant(SMOKE, "full", seed=1, cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_corrupt_cache_discarded_and_recomputed(self, tmp_path):
+        first = pretrain_variant(SMOKE, "full", seed=2, cache_dir=tmp_path)
+        (cache_file,) = tmp_path.glob("*.pkl")
+        # Mangle the pickle stream the same way the seed's stale file was
+        # (leading bytes stripped): loading must not crash the harness.
+        cache_file.write_bytes(cache_file.read_bytes()[2:])
+        second = pretrain_variant(SMOKE, "full", seed=2, cache_dir=tmp_path)
+        state1 = first.model.state_dict()
+        state2 = second.model.state_dict()
+        for key in state1:
+            np.testing.assert_array_equal(state1[key], state2[key])
+        # The recompute repaired the cache: a third call is a clean hit.
+        third = pretrain_variant(SMOKE, "full", seed=2, cache_dir=tmp_path)
+        for key in state1:
+            np.testing.assert_array_equal(state1[key], third.model.state_dict()[key])
+
+    def test_unreadable_cache_payloads_treated_as_miss(self, tmp_path):
+        import pickle
+
+        from repro.experiments.harness import _load_artifact_cache
+
+        garbage = tmp_path / "garbage.pkl"
+        garbage.write_bytes(b"\x04y\x0f\x01 not a pickle")
+        assert _load_artifact_cache(garbage) is None
+        assert not garbage.exists()  # bad file removed
+
+        truncated = tmp_path / "truncated.pkl"
+        truncated.write_bytes(b"")
+        assert _load_artifact_cache(truncated) is None
+
+        # Pre-versioning payloads (a bare object, no format tag) are stale.
+        unversioned = tmp_path / "unversioned.pkl"
+        with open(unversioned, "wb") as handle:
+            pickle.dump({"artifacts": "not-artifacts"}, handle)
+        assert _load_artifact_cache(unversioned) is None
+        assert not unversioned.exists()
+
 
 class TestBaselineRunner:
     def test_run_baseline_smoke(self):
