@@ -77,17 +77,39 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     from .experiments import SCALES, pretrain_variant, run_zero_shot, target_task
-    from .runtime import configure_default_evaluator
+    from .runtime import configure_default_evaluator, default_checkpoint_dir
 
     scale = SCALES[args.scale]
     evaluator = configure_default_evaluator(
-        workers=args.workers, cache_enabled=not args.no_eval_cache
+        workers=args.workers,
+        cache_enabled=not args.no_eval_cache,
+        max_retries=args.max_retries,
+        eval_timeout=args.eval_timeout,
     )
-    artifacts = pretrain_variant(scale, "full", seed=args.seed, evaluator=evaluator)
+    # Progress checkpoints are always written (a crash costs at most one unit
+    # of work); --resume controls whether existing ones are picked up.
+    checkpoint_dir = default_checkpoint_dir()
+    if args.resume:
+        print(f"resuming from checkpoints under {checkpoint_dir} (if any)")
+    artifacts = pretrain_variant(
+        scale,
+        "full",
+        seed=args.seed,
+        evaluator=evaluator,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
+    )
     setting = scale.setting(args.setting)
     task = target_task(scale, args.dataset, setting, seed=args.seed)
     print(f"zero-shot search on {task.name}...")
-    result = run_zero_shot(artifacts, task, scale, seed=args.seed)
+    result = run_zero_shot(
+        artifacts,
+        task,
+        scale,
+        seed=args.seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume,
+    )
     print(f"searched: {result.best.hyper}")
     print(f"          {result.best.arch}")
     print(
@@ -141,6 +163,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-eval-cache",
         action="store_true",
         help="disable the on-disk proxy-evaluation score cache",
+    )
+    search.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from its progress checkpoints "
+        "(bitwise-identical to an uninterrupted run)",
+    )
+    search.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per failed proxy evaluation "
+        "(default: $REPRO_MAX_RETRIES or fail fast)",
+    )
+    search.add_argument(
+        "--eval-timeout",
+        type=float,
+        default=None,
+        help="per-evaluation timeout in seconds "
+        "(default: $REPRO_EVAL_TIMEOUT or no timeout)",
     )
     search.set_defaults(func=_cmd_search)
 

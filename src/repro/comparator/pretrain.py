@@ -12,7 +12,7 @@ Stages:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -27,7 +27,7 @@ from ..tasks.proxy import ProxyConfig
 from ..tasks.task import Task
 
 if TYPE_CHECKING:
-    from ..runtime import ProxyEvaluator
+    from ..runtime import Checkpoint, ProxyEvaluator
 from ..utils.seeding import derive_rng
 from .ahc import Encodings
 from .curriculum import curriculum_schedule
@@ -100,8 +100,9 @@ def collect_task_samples(
     tasks: list[Task],
     space: JointSearchSpace,
     embedder,
-    config: PretrainConfig = PretrainConfig(),
+    config: PretrainConfig | None = None,
     evaluator: "ProxyEvaluator | None" = None,
+    checkpoint: "Checkpoint | None" = None,
 ) -> list[TaskSampleSet]:
     """Measure shared + random arch-hypers on every task (Algorithm 1, l.1–7).
 
@@ -114,10 +115,16 @@ def collect_task_samples(
     sees the whole cross-task workload at once.  Candidate pools are sampled
     up front, in task order, so the RNG stream — and therefore every sampled
     arch-hyper — is identical to the historical per-task loop.
+
+    ``checkpoint`` persists scores as they land; an interrupted collection
+    resumes from it with bitwise-identical samples and scores (entries are
+    content-addressed by evaluation fingerprint, so resuming is always
+    sound).
     """
     from ..embedding.task_encoder import preliminary_task_embedding
-    from ..runtime import get_default_evaluator
+    from ..runtime import EvalProgress, get_default_evaluator
 
+    config = config if config is not None else PretrainConfig()
     if not tasks:
         raise ValueError("no tasks given")
     rng = derive_rng(config.seed, "collect")
@@ -126,8 +133,9 @@ def collect_task_samples(
         shared + space.sample_batch(config.random_samples, rng) for _ in tasks
     ]
     evaluator = evaluator or get_default_evaluator()
+    progress = EvalProgress(checkpoint) if checkpoint is not None else None
     jobs = [(ah, task) for task, pool in zip(tasks, pools) for ah in pool]
-    flat_scores = evaluator.evaluate_pairs(jobs, config.proxy)
+    flat_scores = evaluator.evaluate_pairs(jobs, config.proxy, progress=progress)
 
     sample_sets: list[TaskSampleSet] = []
     cursor = 0
@@ -181,12 +189,31 @@ def _task_pair_loss(
     return loss, accuracy
 
 
+def _pretrain_checkpoint_meta(
+    config: PretrainConfig, sample_sets: list[TaskSampleSet]
+) -> dict:
+    """The run identity a pretraining checkpoint must match to be resumed."""
+    return {
+        "config": asdict(config),
+        "tasks": [s.task_name for s in sample_sets],
+        "pool_sizes": [len(s.arch_hypers) for s in sample_sets],
+    }
+
+
 def pretrain_tahc(
     model: TAHC,
     sample_sets: list[TaskSampleSet],
-    config: PretrainConfig = PretrainConfig(),
+    config: PretrainConfig | None = None,
+    checkpoint: "Checkpoint | None" = None,
 ) -> PretrainHistory:
-    """Algorithm 1, lines 8–18: curriculum + dynamic pairing + BCE training."""
+    """Algorithm 1, lines 8–18: curriculum + dynamic pairing + BCE training.
+
+    With a ``checkpoint``, the full epoch state — model weights, Adam
+    moments, the RNG stream, curriculum history, and early-stop counters —
+    is persisted after every epoch, so an interrupted run resumes at the
+    next epoch and finishes bitwise-identically to an uninterrupted one.
+    """
+    config = config if config is not None else PretrainConfig()
     if not sample_sets:
         raise ValueError("no sample sets given")
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
@@ -196,7 +223,47 @@ def pretrain_tahc(
     history = PretrainHistory()
     best_loss = float("inf")
     stale = 0
+    start_epoch = 0
+    if checkpoint is not None:
+        checkpoint.meta = _pretrain_checkpoint_meta(config, sample_sets)
+        state = checkpoint.load()
+        if state is not None:
+            model.load_state_dict(state["model"])
+            optimizer.load_state_dict(state["optimizer"])
+            rng.bit_generator.state = state["rng"]
+            history = PretrainHistory(
+                losses=list(state["losses"]),
+                accuracies=list(state["accuracies"]),
+                deltas=list(state["deltas"]),
+            )
+            best_loss = float(state["best_loss"])
+            stale = int(state["stale"])
+            start_epoch = int(state["epoch"])
+            if state.get("done"):
+                return history
+
+    def save_progress(epochs_done: int, done: bool) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.save(
+            {
+                "epoch": epochs_done,
+                "done": done,
+                "model": model.state_dict(),
+                "optimizer": optimizer.state_dict(),
+                "rng": rng.bit_generator.state,
+                "losses": list(history.losses),
+                "accuracies": list(history.accuracies),
+                "deltas": list(history.deltas),
+                "best_loss": best_loss,
+                "stale": stale,
+            }
+        )
+
+    stopped = False
     for epoch, delta in enumerate(schedule):
+        if epoch < start_epoch:
+            continue  # already trained before the interruption
         epoch_losses, epoch_accs = [], []
         order = rng.permutation(len(sample_sets))
         for task_index in order:
@@ -233,7 +300,10 @@ def pretrain_tahc(
             else:
                 stale += 1
                 if stale >= config.patience:
-                    break
+                    stopped = True
+        save_progress(epoch + 1, done=stopped or epoch + 1 == len(schedule))
+        if stopped:
+            break
     return history
 
 

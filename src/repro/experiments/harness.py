@@ -49,7 +49,7 @@ from ..tasks.task import Task
 from .config import ExperimentScale, Setting
 
 if TYPE_CHECKING:
-    from ..runtime import ProxyEvaluator
+    from ..runtime import Checkpoint, ProxyEvaluator
 
 logger = logging.getLogger(__name__)
 
@@ -239,18 +239,39 @@ def _save_artifact_cache(cache_path: Path, artifacts: PretrainedArtifacts) -> No
         temp.unlink(missing_ok=True)
 
 
+def _pretrain_checkpoints(
+    checkpoint_dir: Path, scale: ExperimentScale, variant: str, seed: int
+) -> "tuple[Checkpoint, Checkpoint]":
+    """The (collect, pretrain) progress checkpoints of one pre-training run."""
+    from ..runtime import Checkpoint
+
+    stem = f"{scale.name}-{variant}-seed{seed}"
+    return (
+        Checkpoint(Path(checkpoint_dir) / f"collect-{stem}.ckpt", kind="eval-progress"),
+        Checkpoint(Path(checkpoint_dir) / f"pretrain-{stem}.ckpt", kind="pretrain"),
+    )
+
+
 def pretrain_variant(
     scale: ExperimentScale,
     variant: str = "full",
     seed: int = 0,
     cache_dir: Path | None = DEFAULT_CACHE_DIR,
     evaluator: "ProxyEvaluator | None" = None,
+    checkpoint_dir: Path | None = None,
+    resume: bool = False,
 ) -> PretrainedArtifacts:
     """Pre-train (or load from cache) a T-AHC variant at the given scale.
 
     ``evaluator`` fans out the proxy-label measurements of the sample
     collection stage; defaults to the process-wide
     :func:`~repro.runtime.get_default_evaluator`.
+
+    With a ``checkpoint_dir``, sample-collection and curriculum-training
+    progress is checkpointed as the run advances.  ``resume=True`` picks up
+    from any existing checkpoints (bitwise-identical to an uninterrupted
+    run); ``resume=False`` clears them and starts fresh.  Checkpoints are
+    removed once the run completes and its artifact is cached.
     """
     if variant not in VARIANTS:
         raise KeyError(f"unknown variant {variant!r}; known: {VARIANTS}")
@@ -271,6 +292,15 @@ def pretrain_variant(
         if cached is not None:
             return cached
 
+    collect_ckpt = pretrain_ckpt = None
+    if checkpoint_dir is not None:
+        collect_ckpt, pretrain_ckpt = _pretrain_checkpoints(
+            checkpoint_dir, scale, variant, seed
+        )
+        if not resume:
+            collect_ckpt.clear()
+            pretrain_ckpt.clear()
+
     embedder_kind = "mlp" if variant == "wo_ts2vec" else "ts2vec"
     embedder = build_preliminary_embedder(
         embedder_kind,
@@ -290,10 +320,10 @@ def pretrain_variant(
     space = JointSearchSpace(hyper_space=scale.hyper_space)
     config = _pretrain_config(scale, variant, seed)
     sample_sets = collect_task_samples(
-        tasks, space, embedder, config, evaluator=evaluator
+        tasks, space, embedder, config, evaluator=evaluator, checkpoint=collect_ckpt
     )
     model = _build_variant_model(scale, variant, seed)
-    history = pretrain_tahc(model, sample_sets, config)
+    history = pretrain_tahc(model, sample_sets, config, checkpoint=pretrain_ckpt)
 
     artifacts = PretrainedArtifacts(
         variant=variant,
@@ -305,6 +335,12 @@ def pretrain_variant(
     )
     if cache_path is not None:
         _save_artifact_cache(cache_path, artifacts)
+    # The run is complete (and durably cached above); its progress
+    # checkpoints have served their purpose.
+    if collect_ckpt is not None:
+        collect_ckpt.clear()
+    if pretrain_ckpt is not None:
+        pretrain_ckpt.clear()
     return artifacts
 
 
@@ -349,9 +385,26 @@ def run_zero_shot(
     seed: int = 0,
     initial_samples: int | None = None,
     top_k: int | None = None,
+    checkpoint_dir: Path | None = None,
+    resume: bool = False,
 ) -> ZeroShotResult:
+    """Run the zero-shot search, optionally checkpointing the ranking phase."""
     searcher = make_searcher(artifacts, scale, seed, initial_samples, top_k)
-    return searcher.search(task)
+    ranking_ckpt = None
+    if checkpoint_dir is not None:
+        from ..runtime import Checkpoint
+
+        task_slug = task.name.replace("/", "_")
+        ranking_ckpt = Checkpoint(
+            Path(checkpoint_dir) / f"rank-{scale.name}-{task_slug}-seed{seed}.ckpt",
+            kind="evolution",
+        )
+        if not resume:
+            ranking_ckpt.clear()
+    result = searcher.search(task, ranking_checkpoint=ranking_ckpt)
+    if ranking_ckpt is not None:
+        ranking_ckpt.clear()
+    return result
 
 
 def run_baseline(

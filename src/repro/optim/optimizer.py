@@ -32,6 +32,40 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Copy the optimizer's internal state for checkpointing."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (bitwise, shape-checked)."""
+        if state:
+            raise ValueError(f"{type(self).__name__} expects an empty state dict")
+
+
+def _copy_slot_arrays(slots: list[np.ndarray]) -> list[np.ndarray]:
+    return [array.copy() for array in slots]
+
+
+def _restore_slot_arrays(
+    target: list[np.ndarray], saved: list[np.ndarray], name: str
+) -> None:
+    if len(saved) != len(target):
+        raise ValueError(
+            f"optimizer state mismatch: {len(saved)} saved {name} buffers "
+            f"for {len(target)} parameters"
+        )
+    for slot, array in zip(target, saved):
+        value = np.asarray(array)
+        if value.shape != slot.shape:
+            raise ValueError(
+                f"optimizer state shape mismatch in {name}: "
+                f"expected {slot.shape}, got {value.shape}"
+            )
+        slot[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -60,6 +94,12 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": _copy_slot_arrays(self._velocity)}
+
+    def load_state_dict(self, state: dict) -> None:
+        _restore_slot_arrays(self._velocity, state["velocity"], "velocity")
 
 
 class Adam(Optimizer):
@@ -99,6 +139,18 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "step": self._step,
+            "m": _copy_slot_arrays(self._m),
+            "v": _copy_slot_arrays(self._v),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        _restore_slot_arrays(self._m, state["m"], "m")
+        _restore_slot_arrays(self._v, state["v"], "v")
+        self._step = int(state["step"])
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -1,14 +1,19 @@
-"""Runtime layer: the parallel, content-addressed proxy-evaluation engine.
+"""Runtime layer: the parallel, fault-tolerant proxy-evaluation engine.
 
 The early-validation proxy R' (paper Eq. 22) dominates wall-clock in both
 comparator pre-training and per-task search.  This package centralizes every
 ``measure_arch_hyper`` call behind a :class:`ProxyEvaluator` with
 
 * pluggable **serial** and **process-pool** backends (bitwise-identical
-  scores; worker count from ``--workers`` / ``$REPRO_WORKERS``), and
+  scores; worker count from ``--workers`` / ``$REPRO_WORKERS``),
 * a **content-addressed on-disk score cache** keyed by a stable fingerprint
   of (arch-hyper, task, proxy config), with atomic writes and
-  corruption-safe versioned loads.
+  corruption-safe versioned loads,
+* a **fault-tolerance layer** (:mod:`~repro.runtime.faults`): bounded
+  retries with deterministic backoff, per-evaluation timeouts, and graceful
+  pool→serial degradation, and
+* **progress checkpoints** (:mod:`~repro.runtime.checkpoint`) so interrupted
+  pretraining and search campaigns resume bitwise-identically.
 
 Call sites take an optional ``evaluator`` argument and fall back to the
 process-wide default from :func:`get_default_evaluator`, which the CLI (and
@@ -23,7 +28,22 @@ from __future__ import annotations
 import os
 
 from .cache import CACHE_DIR_ENV, CACHE_FORMAT_VERSION, EvalCache, default_cache_dir
+from .checkpoint import (
+    CHECKPOINT_DIR_ENV,
+    CHECKPOINT_FORMAT_VERSION,
+    Checkpoint,
+    EvalProgress,
+    default_checkpoint_dir,
+)
 from .evaluator import EvalStats, ProxyEvaluator, WORKERS_ENV, resolve_workers
+from .faults import (
+    EVAL_TIMEOUT_ENV,
+    EvalFailedError,
+    EvalTimeoutError,
+    MAX_RETRIES_ENV,
+    RetryPolicy,
+    resolve_retry_policy,
+)
 from .fingerprint import CACHE_KEY_VERSION, proxy_fingerprint, task_fingerprint_material
 
 EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
@@ -40,7 +60,9 @@ def get_default_evaluator() -> ProxyEvaluator:
     global _default_evaluator
     if _default_evaluator is None:
         cache = EvalCache() if _cache_enabled_by_env() else None
-        _default_evaluator = ProxyEvaluator(workers=None, cache=cache)
+        _default_evaluator = ProxyEvaluator(
+            workers=None, cache=cache, retry_policy=resolve_retry_policy()
+        )
     return _default_evaluator
 
 
@@ -54,10 +76,20 @@ def configure_default_evaluator(
     workers: int | None = None,
     cache_enabled: bool = True,
     cache_dir=None,
+    max_retries: int | None = None,
+    eval_timeout: float | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> ProxyEvaluator:
-    """Build, install, and return a default evaluator from CLI-style knobs."""
+    """Build, install, and return a default evaluator from CLI-style knobs.
+
+    ``retry_policy`` wins when given; otherwise ``max_retries`` /
+    ``eval_timeout`` (with ``$REPRO_MAX_RETRIES`` / ``$REPRO_EVAL_TIMEOUT``
+    fallbacks) are resolved into one, or ``None`` for fail-fast.
+    """
     cache = EvalCache(cache_dir) if cache_enabled else None
-    evaluator = ProxyEvaluator(workers=workers, cache=cache)
+    if retry_policy is None:
+        retry_policy = resolve_retry_policy(max_retries, eval_timeout)
+    evaluator = ProxyEvaluator(workers=workers, cache=cache, retry_policy=retry_policy)
     set_default_evaluator(evaluator)
     return evaluator
 
@@ -66,15 +98,26 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
     "CACHE_KEY_VERSION",
+    "CHECKPOINT_DIR_ENV",
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
     "EVAL_CACHE_ENV",
+    "EVAL_TIMEOUT_ENV",
     "EvalCache",
+    "EvalFailedError",
+    "EvalProgress",
     "EvalStats",
+    "EvalTimeoutError",
+    "MAX_RETRIES_ENV",
     "ProxyEvaluator",
+    "RetryPolicy",
     "WORKERS_ENV",
     "configure_default_evaluator",
     "default_cache_dir",
+    "default_checkpoint_dir",
     "get_default_evaluator",
     "proxy_fingerprint",
+    "resolve_retry_policy",
     "resolve_workers",
     "set_default_evaluator",
     "task_fingerprint_material",

@@ -1,4 +1,4 @@
-"""The proxy-evaluation engine: fan-out backends plus score caching.
+"""The proxy-evaluation engine: fan-out backends, caching, fault tolerance.
 
 Every comparator training label and every search-loop candidate costs one
 ``measure_arch_hyper`` call — a k-epoch forecaster training — which the paper
@@ -12,19 +12,35 @@ point for those calls:
 Both backends are bitwise-identical: each evaluation is self-contained and
 deterministically seeded by its :class:`~repro.tasks.proxy.ProxyConfig`, so
 neither execution order nor process boundaries can change a score.  Results
-from ``ProcessPoolExecutor.map`` are consumed in submission order, so the
-returned list is position-stable too.
+are consumed in submission order, so the returned list is position-stable
+too.
 
 An optional :class:`~repro.runtime.cache.EvalCache` short-circuits
 evaluations whose fingerprint has been scored before; hit/miss counters and
 per-evaluation wall times are accumulated on :attr:`ProxyEvaluator.stats`.
+
+Fault tolerance (see :mod:`repro.runtime.faults`): with a
+:class:`~repro.runtime.faults.RetryPolicy`, a crashed or timed-out attempt
+is retried with deterministic backoff; exhaustion raises a typed
+:class:`~repro.runtime.faults.EvalFailedError`; and a broken process pool
+degrades gracefully to the serial backend instead of destroying the run.
+Faults can change wall-clock and stats counters but never a returned score.
+
+Checkpointing (see :mod:`repro.runtime.checkpoint`): an
+:class:`~repro.runtime.checkpoint.EvalProgress` handed to
+:meth:`ProxyEvaluator.evaluate_pairs` records each score as it lands and
+pre-fills already-scored evaluations on resume.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -34,7 +50,11 @@ from ..space.archhyper import ArchHyper
 from ..tasks.proxy import ProxyConfig, measure_arch_hyper
 from ..tasks.task import Task
 from .cache import EvalCache
+from .checkpoint import EvalProgress
+from .faults import EvalFailedError, EvalTimeoutError, RetryPolicy
 from .fingerprint import proxy_fingerprint
+
+logger = logging.getLogger(__name__)
 
 WORKERS_ENV = "REPRO_WORKERS"
 
@@ -53,6 +73,11 @@ class EvalStats:
 
     hits: int = 0
     misses: int = 0
+    resumed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    degradations: int = 0
     eval_seconds: list[float] = field(default_factory=list)
     batch_seconds: float = 0.0
     batches: int = 0
@@ -69,16 +94,28 @@ class EvalStats:
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
 
+    @property
+    def faults(self) -> int:
+        """Total fault events survived (retries + timeouts + degradations)."""
+        return self.retries + self.timeouts + self.degradations
+
     def report(self) -> str:
         """One-line human summary (surfaced by the CLI after a search)."""
         eval_wall = float(np.sum(self.eval_seconds)) if self.eval_seconds else 0.0
         mean = eval_wall / self.evaluations if self.evaluations else 0.0
-        return (
+        line = (
             f"proxy evaluations: {self.misses} fresh, {self.hits} cache hits "
             f"({self.hit_rate:.1%} hit rate); "
             f"eval wall {eval_wall:.2f}s total, {mean:.3f}s/eval mean; "
             f"{self.batches} batches in {self.batch_seconds:.2f}s"
         )
+        if self.resumed:
+            line += f"; {self.resumed} resumed from checkpoint"
+        line += (
+            f"; faults: {self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.degradations} pool degradations, {self.failures} failures"
+        )
+        return line
 
 
 def _timed_eval(payload: tuple) -> tuple[float, float]:
@@ -93,6 +130,12 @@ def _timed_eval(payload: tuple) -> tuple[float, float]:
     return float(score), time.perf_counter() - start
 
 
+# One evaluation job flowing through a backend: its position in the batch,
+# its fingerprint (None when neither cache, retry jitter, nor progress needs
+# one), and the (arch_hyper, task) pair.
+_Job = tuple[int, "str | None", ArchHyper, Task]
+
+
 class ProxyEvaluator:
     """Fans out ``(arch_hyper, task)`` proxy evaluations, with caching.
 
@@ -103,6 +146,9 @@ class ProxyEvaluator:
         eval_fn: the evaluation function ``(ah, task, config) -> float``;
             defaults to :func:`~repro.tasks.proxy.measure_arch_hyper`.  Must
             be a picklable (module-level) callable when ``workers > 1``.
+        retry_policy: a :class:`~repro.runtime.faults.RetryPolicy` governing
+            per-evaluation retries, backoff, and timeouts; ``None`` (the
+            default) fails fast with no timeout enforcement.
     """
 
     def __init__(
@@ -110,17 +156,20 @@ class ProxyEvaluator:
         workers: int | None = None,
         cache: EvalCache | None = None,
         eval_fn: Callable[[ArchHyper, Task, ProxyConfig], float] | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.eval_fn = eval_fn or measure_arch_hyper
+        self.retry_policy = retry_policy
         self.stats = EvalStats()
+        self._sleep = time.sleep  # injectable for fast tests
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def evaluate(
-        self, arch_hyper: ArchHyper, task: Task, config: ProxyConfig = ProxyConfig()
+        self, arch_hyper: ArchHyper, task: Task, config: ProxyConfig | None = None
     ) -> float:
         """Score one arch-hyper on one task."""
         return self.evaluate_pairs([(arch_hyper, task)], config)[0]
@@ -129,7 +178,7 @@ class ProxyEvaluator:
         self,
         arch_hypers: Sequence[ArchHyper],
         task: Task,
-        config: ProxyConfig = ProxyConfig(),
+        config: ProxyConfig | None = None,
     ) -> list[float]:
         """Score many arch-hypers on a single task."""
         return self.evaluate_pairs([(ah, task) for ah in arch_hypers], config)
@@ -137,36 +186,63 @@ class ProxyEvaluator:
     def evaluate_pairs(
         self,
         pairs: Sequence[tuple[ArchHyper, Task]],
-        config: ProxyConfig = ProxyConfig(),
+        config: ProxyConfig | None = None,
+        progress: EvalProgress | None = None,
     ) -> list[float]:
         """Score arbitrary ``(arch_hyper, task)`` pairs, order-preserving.
 
-        Cache hits are filled in without touching a backend; the remaining
-        misses run on the serial or process-pool backend and are written back
-        to the cache.
+        Checkpointed scores (``progress``) and cache hits are filled in
+        without touching a backend; the remaining misses run on the serial
+        or process-pool backend and are written back to both stores as each
+        result lands, so an interrupted batch loses at most the in-flight
+        evaluations.
         """
+        config = config if config is not None else ProxyConfig()
         start = time.perf_counter()
+        need_fingerprint = (
+            self.cache is not None
+            or progress is not None
+            or self.retry_policy is not None
+        )
         scores: list[float | None] = [None] * len(pairs)
-        jobs: list[tuple[int, str | None, ArchHyper, Task]] = []
+        jobs: list[_Job] = []
         for position, (arch_hyper, task) in enumerate(pairs):
             fingerprint = None
-            if self.cache is not None:
+            if need_fingerprint:
                 fingerprint = proxy_fingerprint(arch_hyper, task, config)
+            if progress is not None and fingerprint is not None:
+                known = progress.known(fingerprint)
+                if known is not None:
+                    scores[position] = known
+                    self.stats.resumed += 1
+                    continue
+            if self.cache is not None and fingerprint is not None:
                 cached = self.cache.get(fingerprint)
                 if cached is not None:
                     scores[position] = cached
                     self.stats.hits += 1
+                    if progress is not None:
+                        progress.record(fingerprint, cached)
                     continue
             self.stats.misses += 1
             jobs.append((position, fingerprint, arch_hyper, task))
 
+        def on_result(job: _Job, score: float, seconds: float) -> None:
+            position, fingerprint, _, _ = job
+            scores[position] = score
+            self.stats.eval_seconds.append(seconds)
+            if self.cache is not None and fingerprint is not None:
+                self.cache.put(fingerprint, score, seconds)
+            if progress is not None and fingerprint is not None:
+                progress.record(fingerprint, score)
+
         if jobs:
-            results = self._run_backend(jobs, config)
-            for (position, fingerprint, _, _), (score, seconds) in zip(jobs, results):
-                scores[position] = score
-                self.stats.eval_seconds.append(seconds)
-                if self.cache is not None and fingerprint is not None:
-                    self.cache.put(fingerprint, score, seconds)
+            try:
+                self._run_backend(jobs, config, on_result)
+            finally:
+                # Persist whatever landed before a failure interrupted us.
+                if progress is not None:
+                    progress.flush()
 
         self.stats.batches += 1
         self.stats.batch_seconds += time.perf_counter() - start
@@ -176,14 +252,144 @@ class ProxyEvaluator:
     # ------------------------------------------------------------------
     # Backends
     # ------------------------------------------------------------------
+    def _payload(self, job: _Job, config: ProxyConfig) -> tuple:
+        _, _, arch_hyper, task = job
+        return (self.eval_fn, arch_hyper, task, config)
+
     def _run_backend(
-        self, jobs: list[tuple[int, str | None, ArchHyper, Task]], config: ProxyConfig
-    ) -> list[tuple[float, float]]:
-        payloads = [
-            (self.eval_fn, arch_hyper, task, config)
-            for _, _, arch_hyper, task in jobs
-        ]
-        if self.workers <= 1 or len(payloads) <= 1:
-            return [_timed_eval(payload) for payload in payloads]
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(payloads))) as pool:
-            return list(pool.map(_timed_eval, payloads))
+        self,
+        jobs: list[_Job],
+        config: ProxyConfig,
+        on_result: Callable[[_Job, float, float], None],
+    ) -> None:
+        if self.workers <= 1 or len(jobs) <= 1:
+            self._run_serial(jobs, config, on_result)
+            return
+        settled: set[int] = set()
+        try:
+            self._run_pool(jobs, config, on_result, settled)
+        except (BrokenProcessPool, OSError) as exc:
+            # The pool died (worker hard-crash, fork failure, resource
+            # exhaustion).  Scores are deterministic, so finishing the
+            # remaining jobs in-process is always sound — record the
+            # degradation and keep going instead of destroying the run.
+            remaining = [job for job in jobs if job[0] not in settled]
+            self.stats.degradations += 1
+            logger.warning(
+                "process pool broke (%s: %s); degrading %d remaining "
+                "evaluation(s) to the serial backend",
+                type(exc).__name__, exc, len(remaining),
+            )
+            self._run_serial(remaining, config, on_result)
+
+    def _run_serial(
+        self,
+        jobs: list[_Job],
+        config: ProxyConfig,
+        on_result: Callable[[_Job, float, float], None],
+    ) -> None:
+        for job in jobs:
+            score, seconds = self._run_one_with_retries(job, config)
+            on_result(job, score, seconds)
+
+    def _run_pool(
+        self,
+        jobs: list[_Job],
+        config: ProxyConfig,
+        on_result: Callable[[_Job, float, float], None],
+        settled: set[int],
+    ) -> None:
+        policy = self.retry_policy
+        timeout = policy.timeout if policy is not None else None
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(jobs)))
+        try:
+            futures = [pool.submit(_timed_eval, self._payload(job, config)) for job in jobs]
+            for job, future in zip(jobs, futures):
+                attempts = 0
+                while True:
+                    error: BaseException
+                    try:
+                        score, seconds = future.result(timeout=timeout)
+                        break
+                    except FutureTimeoutError:
+                        self.stats.timeouts += 1
+                        future.cancel()
+                        error = EvalTimeoutError(
+                            f"evaluation exceeded {timeout}s in worker"
+                        )
+                    except BrokenProcessPool:
+                        raise  # degrade in _run_backend
+                    except Exception as exc:  # a fault raised inside the worker
+                        error = exc
+                    attempts += 1
+                    if policy is None or attempts > policy.max_retries:
+                        self.stats.failures += 1
+                        raise EvalFailedError(
+                            f"evaluation failed after {attempts} attempt(s): {error}",
+                            attempts=attempts,
+                            last_error=error,
+                        ) from error
+                    self.stats.retries += 1
+                    self._sleep(policy.delay(attempts - 1, job[1]))
+                    future = pool.submit(_timed_eval, self._payload(job, config))
+                on_result(job, score, seconds)
+                settled.add(job[0])
+        finally:
+            # wait=False: never block on a worker wedged past its timeout.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Serial attempts with retry / timeout
+    # ------------------------------------------------------------------
+    def _run_one_with_retries(self, job: _Job, config: ProxyConfig) -> tuple[float, float]:
+        policy = self.retry_policy
+        payload = self._payload(job, config)
+        attempts = 0
+        while True:
+            error: BaseException
+            try:
+                return self._attempt_serial(payload)
+            except EvalTimeoutError as exc:
+                self.stats.timeouts += 1
+                error = exc
+            except Exception as exc:
+                error = exc
+            attempts += 1
+            if policy is None or attempts > policy.max_retries:
+                self.stats.failures += 1
+                raise EvalFailedError(
+                    f"evaluation failed after {attempts} attempt(s): {error}",
+                    attempts=attempts,
+                    last_error=error,
+                ) from error
+            self.stats.retries += 1
+            self._sleep(policy.delay(attempts - 1, job[1]))
+
+    def _attempt_serial(self, payload: tuple) -> tuple[float, float]:
+        """One in-process attempt, with thread-based timeout enforcement.
+
+        Without a timeout the evaluation runs inline.  With one, it runs in
+        a daemon thread that is abandoned on expiry — the attempt is counted
+        as timed out and retried; the orphan thread cannot affect scores
+        (evaluations are self-contained) but does keep consuming CPU until
+        it finishes, which is the usual in-process-timeout trade-off.
+        """
+        policy = self.retry_policy
+        if policy is None or policy.timeout is None:
+            return _timed_eval(payload)
+        box: dict[str, object] = {}
+
+        def target() -> None:
+            try:
+                box["result"] = _timed_eval(payload)
+            except BaseException as exc:  # ferried to the caller below
+                box["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(policy.timeout)
+        if thread.is_alive():
+            raise EvalTimeoutError(f"evaluation exceeded {policy.timeout}s")
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["result"]  # type: ignore[return-value]

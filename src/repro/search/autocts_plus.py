@@ -16,7 +16,9 @@ re-collected) for every new task.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -38,7 +40,7 @@ from ..utils.seeding import derive_rng
 from .evolutionary import EvolutionConfig, EvolutionarySearch
 
 if TYPE_CHECKING:
-    from ..runtime import ProxyEvaluator
+    from ..runtime import Checkpoint, ProxyEvaluator
 
 
 @dataclass(frozen=True)
@@ -71,30 +73,52 @@ class AutoCTSPlusSearch:
     def __init__(
         self,
         space: JointSearchSpace | None = None,
-        config: AutoCTSPlusConfig = AutoCTSPlusConfig(),
+        config: AutoCTSPlusConfig | None = None,
         evaluator: "ProxyEvaluator | None" = None,
+        checkpoint_dir: Path | str | None = None,
     ) -> None:
         self.space = space or JointSearchSpace()
-        self.config = config
+        self.config = config if config is not None else AutoCTSPlusConfig()
         self.evaluator = evaluator
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+
+    def _checkpoint(self, stage: str, kind: str) -> "Checkpoint | None":
+        """The per-stage progress checkpoint, or ``None`` when not enabled."""
+        if self.checkpoint_dir is None:
+            return None
+        from ..runtime import Checkpoint
+
+        return Checkpoint(
+            self.checkpoint_dir / f"autocts-{stage}-seed{self.config.seed}.ckpt",
+            kind=kind,
+        )
 
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
     def collect_samples(self, task: Task) -> list[tuple[ArchHyper, float]]:
         """Stage 1: measure random arch-hypers with the proxy on the task."""
-        from ..runtime import get_default_evaluator
+        from ..runtime import EvalProgress, get_default_evaluator
 
         rng = derive_rng(self.config.seed, "autocts+-collect")
         candidates = self.space.sample_batch(self.config.n_measured_samples, rng)
         evaluator = self.evaluator or get_default_evaluator()
-        scores = evaluator.evaluate_many(candidates, task, self.config.proxy)
+        checkpoint = self._checkpoint("collect", "eval-progress")
+        progress = EvalProgress(checkpoint) if checkpoint is not None else None
+        scores = evaluator.evaluate_pairs(
+            [(ah, task) for ah in candidates], self.config.proxy, progress=progress
+        )
         return list(zip(candidates, scores))
 
     def train_comparator(
         self, measured: list[tuple[ArchHyper, float]]
     ) -> tuple[AHC, list[float]]:
-        """Stage 2: fit a task-specific AHC on dynamically generated pairs."""
+        """Stage 2: fit a task-specific AHC on dynamically generated pairs.
+
+        Epoch state (weights, Adam moments, RNG stream, loss history) is
+        checkpointed when a ``checkpoint_dir`` is configured, so an
+        interrupted fit resumes bitwise-identically.
+        """
         config = self.config
         arch_hypers = [ah for ah, _ in measured]
         scores = np.array([score for _, score in measured])
@@ -103,7 +127,27 @@ class AutoCTSPlusSearch:
         optimizer = Adam(ahc.parameters(), lr=config.ahc_lr)
         rng = derive_rng(config.seed, "autocts+-ahc")
         losses: list[float] = []
-        for _ in range(config.ahc_epochs):
+        start_epoch = 0
+        checkpoint = self._checkpoint("ahc", "ahc-train")
+        if checkpoint is not None:
+            # The scores digest ties the checkpoint to this exact measured set.
+            checkpoint.meta = {
+                "epochs": config.ahc_epochs,
+                "pairs": config.pairs_per_epoch,
+                "lr": config.ahc_lr,
+                "seed": config.seed,
+                "scores_sha256": hashlib.sha256(
+                    np.ascontiguousarray(scores).tobytes()
+                ).hexdigest(),
+            }
+            state = checkpoint.load()
+            if state is not None:
+                ahc.load_state_dict(state["model"])
+                optimizer.load_state_dict(state["optimizer"])
+                rng.bit_generator.state = state["rng"]
+                losses = list(state["losses"])
+                start_epoch = int(state["epoch"])
+        for epoch in range(start_epoch, config.ahc_epochs):
             pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
             index_a, index_b, labels = pair_index_arrays(pairs)
             logits = ahc(
@@ -115,6 +159,16 @@ class AutoCTSPlusSearch:
             loss.backward()
             optimizer.step()
             losses.append(loss.item())
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "epoch": epoch + 1,
+                        "model": ahc.state_dict(),
+                        "optimizer": optimizer.state_dict(),
+                        "rng": rng.bit_generator.state,
+                        "losses": list(losses),
+                    }
+                )
         return ahc, losses
 
     def rank(self, ahc: AHC) -> list[ArchHyper]:
@@ -126,7 +180,9 @@ class AutoCTSPlusSearch:
         search = EvolutionarySearch(
             self.space, compare, self.config.evolution, seed=self.config.seed
         )
-        return search.run().top_candidates
+        return search.run(
+            checkpoint=self._checkpoint("evolution", "evolution")
+        ).top_candidates
 
     def train_final(
         self, task: Task, candidates: list[ArchHyper]

@@ -41,13 +41,14 @@ def random_search(
     task: Task,
     space: JointSearchSpace,
     n_candidates: int,
-    proxy: ProxyConfig = ProxyConfig(),
+    proxy: ProxyConfig | None = None,
     seed: int = 0,
     evaluator: "ProxyEvaluator | None" = None,
 ) -> SearchTrace:
     """Evaluate ``n_candidates`` random arch-hypers with the proxy."""
     from ..runtime import get_default_evaluator
 
+    proxy = proxy if proxy is not None else ProxyConfig()
     rng = np.random.default_rng(seed)
     candidates = space.sample_batch(n_candidates, rng)
     scores = (evaluator or get_default_evaluator()).evaluate_many(
@@ -61,12 +62,13 @@ def grid_search_hyper(
     task: Task,
     hidden_dims: tuple[int, ...],
     output_dims: tuple[int, ...],
-    proxy: ProxyConfig = ProxyConfig(),
+    proxy: ProxyConfig | None = None,
     evaluator: "ProxyEvaluator | None" = None,
 ) -> SearchTrace:
     """Sweep H x I around a fixed architecture (the baselines' grid search)."""
     from ..runtime import get_default_evaluator
 
+    proxy = proxy if proxy is not None else ProxyConfig()
     candidates = [
         ArchHyper(
             arch=base.arch,

@@ -9,14 +9,17 @@ population at ``kp``; and the final answer is the Round-Robin top-``K``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
 from .round_robin import round_robin_top_k
+
+if TYPE_CHECKING:
+    from ..runtime import Checkpoint
 
 # A compare function maps a candidate list to an (n, n) win matrix.
 CompareFn = Callable[[list[ArchHyper]], np.ndarray]
@@ -57,12 +60,13 @@ class EvolutionarySearch:
         self,
         space: JointSearchSpace,
         compare: CompareFn,
-        config: EvolutionConfig = EvolutionConfig(),
+        config: EvolutionConfig | None = None,
         seed: int = 0,
     ) -> None:
         self.space = space
         self.compare = compare
-        self.config = config
+        self.config = config if config is not None else EvolutionConfig()
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.comparisons = 0
 
@@ -82,13 +86,28 @@ class EvolutionarySearch:
             child = self.space.mutate(child, rng)
         return child
 
-    def run(self, initial: list[ArchHyper] | None = None) -> EvolutionResult:
-        """Run the full search; ``initial`` overrides the K_s random sample."""
+    def run(
+        self,
+        initial: list[ArchHyper] | None = None,
+        checkpoint: "Checkpoint | None" = None,
+    ) -> EvolutionResult:
+        """Run the full search; ``initial`` overrides the K_s random sample.
+
+        With a ``checkpoint``, the population, RNG stream, and comparison
+        counter are persisted after the initial ranking and after every
+        generation; an interrupted search resumes at the next generation and
+        selects a bitwise-identical winner.
+        """
         config = self.config
-        if initial is None:
-            initial = self.space.sample_batch(config.initial_samples, self._rng)
-        population = self._rank(initial, config.population_size)
-        for _ in range(config.generations):
+        if checkpoint is not None:
+            checkpoint.meta = {"config": asdict(config), "seed": self.seed}
+        population, start_generation = self._restore(checkpoint)
+        if population is None:
+            if initial is None:
+                initial = self.space.sample_batch(config.initial_samples, self._rng)
+            population = self._rank(initial, config.population_size)
+            self._save(checkpoint, 0, population)
+        for generation in range(start_generation, config.generations):
             seen = {ah.key() for ah in population}
             offspring: list[ArchHyper] = []
             while len(offspring) < config.offspring_per_generation:
@@ -97,9 +116,43 @@ class EvolutionarySearch:
                     seen.add(child.key())
                     offspring.append(child)
             population = self._rank(population + offspring, config.population_size)
+            self._save(checkpoint, generation + 1, population)
         top = self._rank(population, min(config.top_k, len(population)))
         return EvolutionResult(
             top_candidates=top,
             final_population=population,
             comparisons=self.comparisons,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _restore(
+        self, checkpoint: "Checkpoint | None"
+    ) -> tuple[list[ArchHyper] | None, int]:
+        if checkpoint is None:
+            return None, 0
+        state = checkpoint.load()
+        if state is None:
+            return None, 0
+        self._rng.bit_generator.state = state["rng"]
+        self.comparisons = int(state["comparisons"])
+        population = [ArchHyper.from_dict(d) for d in state["population"]]
+        return population, int(state["generation"])
+
+    def _save(
+        self,
+        checkpoint: "Checkpoint | None",
+        generation: int,
+        population: list[ArchHyper],
+    ) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.save(
+            {
+                "generation": generation,
+                "population": [ah.to_dict() for ah in population],
+                "rng": self._rng.bit_generator.state,
+                "comparisons": self.comparisons,
+            }
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
 from ..tasks.task import Task
 from .evolutionary import EvolutionConfig, EvolutionarySearch
+
+if TYPE_CHECKING:
+    from ..runtime import Checkpoint
 
 
 @dataclass(frozen=True)
@@ -92,7 +96,10 @@ class ZeroShotSearch:
         return preliminary_task_embedding(self.embedder, windows)
 
     def rank(
-        self, preliminary: np.ndarray, initial: list[ArchHyper] | None = None
+        self,
+        preliminary: np.ndarray,
+        initial: list[ArchHyper] | None = None,
+        checkpoint: "Checkpoint | None" = None,
     ) -> tuple[list[ArchHyper], int]:
         """Phase 2: evolutionary ranking under the task-conditioned T-AHC."""
 
@@ -104,7 +111,7 @@ class ZeroShotSearch:
         search = EvolutionarySearch(
             self.space, compare, self.config.evolution, seed=self.config.seed
         )
-        result = search.run(initial)
+        result = search.run(initial, checkpoint=checkpoint)
         return result.top_candidates, result.comparisons
 
     def train_final(
@@ -149,7 +156,10 @@ class ZeroShotSearch:
     # Full pipeline
     # ------------------------------------------------------------------
     def search(
-        self, task: Task, initial: list[ArchHyper] | None = None
+        self,
+        task: Task,
+        initial: list[ArchHyper] | None = None,
+        ranking_checkpoint: "Checkpoint | None" = None,
     ) -> ZeroShotResult:
         """Run Algorithm 2 end to end on an unseen task."""
         timings = PhaseTimings()
@@ -158,7 +168,7 @@ class ZeroShotSearch:
         timings.embedding = time.perf_counter() - start
 
         start = time.perf_counter()
-        top, comparisons = self.rank(preliminary, initial)
+        top, comparisons = self.rank(preliminary, initial, checkpoint=ranking_checkpoint)
         timings.ranking = time.perf_counter() - start
 
         start = time.perf_counter()

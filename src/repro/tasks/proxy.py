@@ -44,13 +44,14 @@ class ProxyConfig:
 def measure_arch_hyper(
     arch_hyper: ArchHyper,
     task: Task,
-    config: ProxyConfig = ProxyConfig(),
+    config: ProxyConfig | None = None,
 ) -> float:
     """R'(ah): validation error after only ``k`` training epochs (Eq. 22).
 
     Returns the validation MAE (multi-step) or RRSE (single-step); lower is
     better.
     """
+    config = config if config is not None else ProxyConfig()
     prepared = task.prepared
     model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
     train_forecaster(model, prepared.train, prepared.val, config.train_config())
@@ -62,10 +63,11 @@ def full_train_score(
     arch_hyper: ArchHyper,
     task: Task,
     epochs: int = 30,
-    config: ProxyConfig = ProxyConfig(),
+    config: ProxyConfig | None = None,
     return_test: bool = True,
 ) -> ForecastScores:
     """Fully train ``arch_hyper`` on ``task`` and score it (val or test)."""
+    config = config if config is not None else ProxyConfig()
     prepared = task.prepared
     model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
     train_forecaster(

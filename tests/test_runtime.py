@@ -299,3 +299,80 @@ class TestCallSiteWiring:
         assert [ah.key() for ah in sets[0].arch_hypers[:2]] == [
             ah.key() for ah in sets[1].arch_hypers[:2]
         ]
+
+
+class TestCrossBackendDeterminism:
+    """Property: backend choice and caching never change a score's bits."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        seed=st.integers(0, 10_000),
+        count=st.integers(1, 4),
+        use_cache=st.booleans(),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_serial_pool_and_cache_agree_bitwise(
+        self, tmp_path_factory, seed, count, use_cache
+    ):
+        task = _toy_task(seed=seed % 7)
+        candidates = _candidates(count, seed=seed)
+        pairs = [(ah, task) for ah in candidates]
+
+        serial = ProxyEvaluator(workers=1, cache=None, eval_fn=cheap_eval)
+        expected = serial.evaluate_pairs(pairs)
+
+        cache = None
+        if use_cache:
+            cache = EvalCache(tmp_path_factory.mktemp("xbackend") / "cache")
+        pooled = ProxyEvaluator(workers=2, cache=cache, eval_fn=cheap_eval)
+        assert pooled.evaluate_pairs(pairs) == expected
+        if use_cache:
+            # Second pass answers from cache — still bitwise identical.
+            rerun = ProxyEvaluator(workers=2, cache=cache, eval_fn=cheap_eval)
+            assert rerun.evaluate_pairs(pairs) == expected
+            assert rerun.stats.hits == len(pairs)
+
+
+class TestNoSharedMutableDefaults:
+    """Regression: ``config: ProxyConfig = ProxyConfig()`` in a signature is a
+    single shared instance born at import time; every signature must use the
+    ``None`` sentinel instead and resolve a fresh config per call."""
+
+    def test_signatures_use_none_sentinel(self):
+        import inspect
+
+        from repro.search import grid_search_hyper, random_search
+        from repro.tasks import full_train_score, measure_arch_hyper
+
+        evaluator = ProxyEvaluator(workers=1, cache=None, eval_fn=cheap_eval)
+        callables = [
+            evaluator.evaluate,
+            evaluator.evaluate_many,
+            evaluator.evaluate_pairs,
+            measure_arch_hyper,
+            full_train_score,
+        ]
+        for fn in callables:
+            default = inspect.signature(fn).parameters["config"].default
+            assert default is None, f"{fn.__qualname__} shares a default config"
+        for fn in (random_search, grid_search_hyper):
+            default = inspect.signature(fn).parameters["proxy"].default
+            assert default is None, f"{fn.__qualname__} shares a default config"
+
+    def test_each_call_resolves_a_fresh_config(self):
+        seen = []
+
+        def capture_eval(arch_hyper, task, config):
+            seen.append(config)
+            return 1.0
+
+        task = _toy_task()
+        (ah,) = _candidates(1)
+        evaluator = ProxyEvaluator(workers=1, cache=None, eval_fn=capture_eval)
+        evaluator.evaluate(ah, task)
+        evaluator.evaluate(ah, task)
+        assert len(seen) == 2
+        assert all(isinstance(c, ProxyConfig) for c in seen)
+        assert seen[0] is not seen[1]
