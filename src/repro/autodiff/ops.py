@@ -451,10 +451,21 @@ def embedding(weight, indices) -> Tensor:
 
 
 def softmax(a, axis: int = -1) -> Tensor:
+    """Max-subtracted softmax with a guarded denominator.
+
+    After subtracting the row max, the exponentials include ``exp(0) = 1``,
+    so the denominator is >= 1 for any finite input and the ``maximum``
+    guard is a bitwise no-op there; it only engages for pathological rows
+    (for example all ``-inf`` under masking), turning a 0/0 NaN into zeros.
+    """
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out = e / e.sum(axis=axis, keepdims=True)
+    # errstate: at float32 extremes the shift itself can overflow to -inf,
+    # which exp() maps to the intended 0 — a well-defined path, not a warning.
+    with np.errstate(over="ignore", invalid="ignore"):
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        denom = np.maximum(e.sum(axis=axis, keepdims=True), np.finfo(e.dtype).tiny)
+        out = e / denom
 
     def backward(grad):
         dot = (grad * out).sum(axis=axis, keepdims=True)
@@ -464,11 +475,21 @@ def softmax(a, axis: int = -1) -> Tensor:
 
 
 def log_softmax(a, axis: int = -1) -> Tensor:
+    """Log-softmax via the shifted log-sum-exp, with a guarded log argument.
+
+    As in :func:`softmax`, the post-shift sum is >= 1 for finite inputs, so
+    the guard changes nothing there and only prevents ``log(0)`` on fully
+    degenerate rows.
+    """
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out = shifted - logsumexp
-    soft = np.exp(out)
+    with np.errstate(over="ignore", invalid="ignore"):
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        sumexp = np.maximum(
+            np.exp(shifted).sum(axis=axis, keepdims=True), np.finfo(shifted.dtype).tiny
+        )
+        logsumexp = np.log(sumexp)
+        out = shifted - logsumexp
+        soft = np.exp(out)
 
     def backward(grad):
         return (grad - soft * grad.sum(axis=axis, keepdims=True),)

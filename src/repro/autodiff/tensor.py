@@ -25,6 +25,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .anomaly import anomaly_enabled, op_name_of, raise_non_finite
+
 DEFAULT_DTYPE = np.float32
 
 _grad_state = threading.local()
@@ -67,7 +69,7 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
 
     def __init__(
         self,
@@ -86,6 +88,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
+        self._op: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -157,9 +160,17 @@ class Tensor:
                 parent_grads = node._backward(node_grad)
                 if parent_grads is None:
                     continue
+                check = anomaly_enabled()
                 for parent, pgrad in zip(node._parents, parent_grads):
                     if pgrad is None or not _needs_grad(parent):
                         continue
+                    if check and not np.isfinite(pgrad).all():
+                        raise_non_finite(
+                            node._op or op_name_of(node._backward),
+                            "backward",
+                            pgrad,
+                            node._parents,
+                        )
                     key = id(parent)
                     if key in grads:
                         grads[key] = grads[key] + pgrad
@@ -205,8 +216,19 @@ def make_op(
     parents: Sequence[Tensor],
     backward: Callable[[np.ndarray], Iterable[np.ndarray | None]],
 ) -> Tensor:
-    """Create a non-leaf tensor recording ``backward`` if grad is enabled."""
+    """Create a non-leaf tensor recording ``backward`` if grad is enabled.
+
+    Under :func:`~repro.autodiff.anomaly.detect_anomaly`, the output is
+    checked for non-finite values before the graph node is created, and the
+    op name is stamped on the node so backward-pass anomalies can name it.
+    """
+    check = anomaly_enabled()
+    if check and not np.isfinite(out_data).all():
+        raise_non_finite(op_name_of(backward), "forward", out_data, tuple(parents))
     track = _grad_enabled() and any(_needs_grad(p) for p in parents)
     if not track:
         return Tensor(out_data)
-    return Tensor(out_data, _parents=tuple(parents), _backward=backward)
+    out = Tensor(out_data, _parents=tuple(parents), _backward=backward)
+    if check:
+        out._op = op_name_of(backward)
+    return out

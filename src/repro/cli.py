@@ -76,15 +76,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from .autodiff import set_anomaly_default
     from .experiments import SCALES, pretrain_variant, run_zero_shot, target_task
     from .runtime import configure_default_evaluator, default_checkpoint_dir
 
+    if args.anomaly_mode:
+        # Also exported via $REPRO_ANOMALY so pool workers inherit the mode.
+        set_anomaly_default(True)
     scale = SCALES[args.scale]
     evaluator = configure_default_evaluator(
         workers=args.workers,
         cache_enabled=not args.no_eval_cache,
         max_retries=args.max_retries,
         eval_timeout=args.eval_timeout,
+        divergence_policy=args.divergence_policy,
     )
     # Progress checkpoints are always written (a crash costs at most one unit
     # of work); --resume controls whether existing ones are picked up.
@@ -183,6 +188,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-evaluation timeout in seconds "
         "(default: $REPRO_EVAL_TIMEOUT or no timeout)",
+    )
+    search.add_argument(
+        "--anomaly-mode",
+        action="store_true",
+        help="enable autodiff anomaly detection: the first non-finite value "
+        "raises a NonFiniteError naming the originating op (slower; for "
+        "debugging divergence)",
+    )
+    search.add_argument(
+        "--divergence-policy",
+        choices=("sentinel", "raise"),
+        default=None,
+        help="what a diverged candidate becomes: 'sentinel' (default) scores "
+        "it with the deterministic worst-case sentinel and keeps searching; "
+        "'raise' aborts with a DivergenceError "
+        "(default: $REPRO_DIVERGENCE_POLICY or sentinel)",
     )
     search.set_defaults(func=_cmd_search)
 

@@ -7,7 +7,10 @@ from .pairing import (
     ComparisonPair,
     ScoredArchHyper,
     all_ordered_pairs,
+    comparable_pair_indices,
+    diverged_mask,
     dynamic_pairs,
+    has_comparable_pair,
     make_label,
     ordered_pair_indices,
     pair_index_arrays,
@@ -33,7 +36,10 @@ __all__ = [
     "ComparisonPair",
     "ScoredArchHyper",
     "all_ordered_pairs",
+    "comparable_pair_indices",
+    "diverged_mask",
     "dynamic_pairs",
+    "has_comparable_pair",
     "make_label",
     "ordered_pair_indices",
     "pair_index_arrays",

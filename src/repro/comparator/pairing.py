@@ -14,11 +14,17 @@ from functools import lru_cache
 import numpy as np
 
 from ..space.archhyper import ArchHyper
+from ..tasks.proxy import is_sentinel_score
 
 
 @dataclass(frozen=True)
 class ScoredArchHyper:
-    """An arch-hyper with its measured early-validation error (lower better)."""
+    """An arch-hyper with its measured early-validation error (lower better).
+
+    Sentinel (diverged) scores are allowed — they are finite by construction
+    — but NaN/Inf scores are rejected at the door so no non-finite value can
+    ever reach a comparator label.
+    """
 
     arch_hyper: ArchHyper
     score: float
@@ -46,6 +52,25 @@ def make_label(score_a: float, score_b: float) -> float:
     return 1.0 if score_a <= score_b else 0.0
 
 
+def diverged_mask(scores: np.ndarray) -> np.ndarray:
+    """Boolean mask of sentinel (diverged) entries in a score pool."""
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.array([is_sentinel_score(float(s)) for s in scores], dtype=bool)
+
+
+def has_comparable_pair(scores: np.ndarray) -> bool:
+    """Whether any valid training pair exists in the pool.
+
+    A pair is comparable unless *both* members diverged — two sentinel
+    scores carry no ordering information, so a pool needs at least two
+    candidates and at least one non-diverged one.
+    """
+    scores = np.asarray(scores)
+    if len(scores) < 2:
+        return False
+    return int(diverged_mask(scores).sum()) < len(scores)
+
+
 def dynamic_pairs(
     scores: np.ndarray,
     rng: np.random.Generator,
@@ -54,17 +79,28 @@ def dynamic_pairs(
     """Draw ``n_pairs`` random ordered pairs with ground-truth labels.
 
     Pairs with identical scores are kept (label 1 by the >= convention);
-    ``i == j`` self-pairs are excluded.
+    ``i == j`` self-pairs are excluded.  Pairs of *two diverged* (sentinel)
+    candidates are rejection-resampled away — their tied worst-case scores
+    would yield a meaningless label that poisons comparator training.  When
+    the pool has no diverged scores the RNG stream is consumed exactly as it
+    always was, so healthy runs stay bitwise-identical.
     """
     count = len(scores)
     if count < 2:
         raise ValueError("need at least two scored candidates to build pairs")
+    bad = diverged_mask(scores)
+    if bad.sum() >= count:
+        raise ValueError(
+            "all candidates in the pool diverged; no comparable pair exists"
+        )
     pairs: list[ComparisonPair] = []
-    for _ in range(n_pairs):
+    while len(pairs) < n_pairs:
         i = int(rng.integers(count))
         j = int(rng.integers(count - 1))
         if j >= i:
             j += 1
+        if bad[i] and bad[j]:
+            continue  # resample: no ordering information in a diverged pair
         pairs.append(ComparisonPair(i, j, make_label(scores[i], scores[j])))
     return pairs
 
@@ -105,9 +141,31 @@ def pair_index_arrays(
     return index_a, index_b, labels
 
 
-def all_ordered_pairs(scores: np.ndarray) -> list[ComparisonPair]:
-    """Every ordered pair (used by evaluation, not training)."""
+def comparable_pair_indices(
+    scores: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ordered-pair index arrays with both-diverged pairs filtered out.
+
+    Identical to :func:`ordered_pair_indices` on a sentinel-free pool (the
+    common case, and a cheap vectorized check), so evaluation stays on the
+    memoized template unless divergence actually occurred.
+    """
     index_a, index_b = ordered_pair_indices(len(scores))
+    bad = diverged_mask(scores)
+    if not bad.any():
+        return index_a, index_b
+    keep = ~(bad[index_a] & bad[index_b])
+    return index_a[keep], index_b[keep]
+
+
+def all_ordered_pairs(scores: np.ndarray) -> list[ComparisonPair]:
+    """Every comparable ordered pair (used by evaluation, not training).
+
+    Both-diverged pairs are excluded — identically to the training side —
+    so a sentinel score can never manufacture a label out of a tie between
+    two failures.
+    """
+    index_a, index_b = comparable_pair_indices(scores)
     labels = pair_labels(scores, index_a, index_b)
     return [
         ComparisonPair(int(i), int(j), float(label))

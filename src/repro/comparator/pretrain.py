@@ -32,8 +32,9 @@ from ..utils.seeding import derive_rng
 from .ahc import Encodings
 from .curriculum import curriculum_schedule
 from .pairing import (
+    comparable_pair_indices,
     dynamic_pairs,
-    ordered_pair_indices,
+    has_comparable_pair,
     pair_index_arrays,
     pair_labels,
 )
@@ -273,9 +274,13 @@ def pretrain_tahc(
             )
             if pool_size < 2:
                 continue
-            pairs = dynamic_pairs(
-                sample_set.scores[:pool_size], rng, config.pairs_per_task
-            )
+            pool_scores = sample_set.scores[:pool_size]
+            if not has_comparable_pair(pool_scores):
+                # Every candidate in this curriculum slice diverged: no pair
+                # carries ordering information, so skip the task this epoch
+                # (the check draws no RNG, keeping healthy runs bitwise-same).
+                continue
+            pairs = dynamic_pairs(pool_scores, rng, config.pairs_per_task)
             index_a, index_b, labels = pair_index_arrays(pairs)
             loss, accuracy = _task_pair_loss(
                 model, sample_set, index_a, index_b, labels
@@ -313,9 +318,15 @@ def evaluate_comparator(
     """Pairwise accuracy of the comparator on one task's measured samples.
 
     Uses the memoized O(n²) ordered-pair index template and the sample set's
-    cached encodings — no per-call pair-object construction.
+    cached encodings — no per-call pair-object construction.  Both-diverged
+    (sentinel) pairs are excluded, matching the training-side pairing rules.
     """
-    index_a, index_b = ordered_pair_indices(len(sample_set.scores))
+    index_a, index_b = comparable_pair_indices(sample_set.scores)
+    if len(index_a) == 0:
+        raise ValueError(
+            f"task {sample_set.task_name!r} has no comparable pairs "
+            "(all measured candidates diverged)"
+        )
     labels = pair_labels(sample_set.scores, index_a, index_b)
     with no_grad():
         _, accuracy = _task_pair_loss(model, sample_set, index_a, index_b, labels)

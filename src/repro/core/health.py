@@ -1,0 +1,219 @@
+"""Training health monitoring: divergence as a first-class outcome.
+
+The proxy-evaluation campaigns deliberately train pathological candidates
+(for example learning rate 1e3 on a deep dilated stack).  Left alone, such a
+training either crashes mid-epoch with a numpy overflow or — worse — finishes
+and reports a NaN score that silently poisons comparator labels.  The
+:class:`HealthMonitor` sits inside the training loop and makes the outcome
+well-defined and deterministic:
+
+* every step's loss and gradient norm are checked for finiteness (and for an
+  explosion relative to the first observed loss),
+* a *bad* step is skipped — parameters are not updated — and the learning
+  rate is backed off multiplicatively, which recovers transient spikes,
+* after ``max_bad_steps`` consecutive bad steps the parameters and optimizer
+  state roll back to the last-good snapshot,
+* after ``max_rollbacks`` failed rollbacks (or when no good snapshot exists)
+  a :class:`DivergenceError` is raised, carrying the full step history.
+
+All decisions are pure functions of the observed loss/grad-norm sequence, so
+recovery is bitwise-reproducible and PR 2's checkpoint/resume guarantee is
+preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StepHealth:
+    """One observed training step and the monitor's verdict on it."""
+
+    epoch: int
+    step: int
+    loss: float
+    grad_norm: float
+    action: str  # "ok" | "skip" | "rollback" | "diverged"
+
+
+class DivergenceError(RuntimeError):
+    """Training diverged beyond recovery.
+
+    Attributes:
+        history: the :class:`StepHealth` records leading up to the failure
+            (bounded; the most recent steps).
+    """
+
+    def __init__(self, message: str, history: list[StepHealth] | None = None) -> None:
+        super().__init__(message)
+        self.history = history or []
+
+    def __reduce__(self):
+        # Keep the error picklable across process-pool workers.
+        return (type(self), (str(self), self.history))
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Knobs of the in-loop divergence guard.
+
+    Args:
+        enabled: turn the monitor off entirely (historical behaviour).
+        max_bad_steps: consecutive bad steps tolerated before a rollback.
+        max_rollbacks: rollbacks attempted before declaring divergence.
+        lr_backoff: multiplicative learning-rate decay applied per bad step
+            and per rollback.
+        min_lr: floor under the backed-off learning rate.
+        loss_explosion_factor: a finite loss larger than
+            ``first_loss * factor`` also counts as bad (catches divergence
+            that stays float-finite).
+        snapshot_interval: applied steps between last-good snapshots (1 =
+            snapshot every step; larger amortizes the parameter copy).
+        history_limit: most-recent step records kept for the error payload.
+    """
+
+    enabled: bool = True
+    max_bad_steps: int = 3
+    max_rollbacks: int = 2
+    lr_backoff: float = 0.5
+    min_lr: float = 1e-7
+    loss_explosion_factor: float = 1e6
+    snapshot_interval: int = 8
+    history_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_bad_steps < 1:
+            raise ValueError("max_bad_steps must be >= 1")
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        if not 0 < self.lr_backoff < 1:
+            raise ValueError("lr_backoff must lie in (0, 1)")
+        if self.loss_explosion_factor <= 1:
+            raise ValueError("loss_explosion_factor must be > 1")
+        if self.snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+
+
+@dataclass
+class HealthReport:
+    """Counters accumulated over one monitored training run."""
+
+    bad_steps: int = 0
+    skipped_steps: int = 0
+    rollbacks: int = 0
+    history: list[StepHealth] = field(default_factory=list)
+
+
+class HealthMonitor:
+    """Per-step divergence guard around a model/optimizer pair.
+
+    Usage inside a training loop::
+
+        monitor = HealthMonitor(config, model, optimizer)
+        loss = compute_loss(...)
+        if not monitor.check_loss(epoch, step, loss.item()):
+            continue                      # skip: do not backprop this step
+        loss.backward()
+        norm = clip_grad_norm(...)
+        if not monitor.check_grads(epoch, step, norm):
+            continue                      # skip: do not apply this step
+        optimizer.step()
+        monitor.step_ok()
+
+    The monitor snapshots model and optimizer state after each applied step
+    and rolls both back when a bad streak exceeds the budget.
+    """
+
+    def __init__(self, config: HealthConfig, model, optimizer) -> None:
+        self.config = config
+        self.model = model
+        self.optimizer = optimizer
+        self.report = HealthReport()
+        self._consecutive_bad = 0
+        self._good_steps = 0
+        self._first_loss: float | None = None
+        self._snapshot: tuple[dict, dict] | None = None
+        self._pending: tuple[int, int, float] | None = None
+
+    # ------------------------------------------------------------------
+    # Step-level checks
+    # ------------------------------------------------------------------
+    def check_loss(self, epoch: int, step: int, loss: float) -> bool:
+        """True when the loss is healthy and the step may proceed."""
+        if self._is_bad_loss(loss):
+            self._bad(epoch, step, loss, float("nan"))
+            return False
+        if self._first_loss is None:
+            self._first_loss = loss
+        self._pending = (epoch, step, loss)
+        return True
+
+    def check_grads(self, epoch: int, step: int, grad_norm: float) -> bool:
+        """True when the gradient norm is finite and the update may apply."""
+        if not math.isfinite(grad_norm):
+            loss = self._pending[2] if self._pending else float("nan")
+            self._pending = None
+            self._bad(epoch, step, loss, grad_norm)
+            return False
+        return True
+
+    def step_ok(self) -> None:
+        """Record a successfully applied step and snapshot last-good state."""
+        epoch, step, loss = self._pending if self._pending else (0, 0, float("nan"))
+        self._pending = None
+        self._consecutive_bad = 0
+        self._record(StepHealth(epoch, step, loss, 0.0, "ok"))
+        self._good_steps += 1
+        if self._snapshot is None or self._good_steps % self.config.snapshot_interval == 0:
+            self._snapshot = (self.model.state_dict(), self.optimizer.state_dict())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _is_bad_loss(self, loss: float) -> bool:
+        if not math.isfinite(loss):
+            return True
+        if self._first_loss is not None:
+            threshold = self.config.loss_explosion_factor * max(
+                abs(self._first_loss), 1.0
+            )
+            if abs(loss) > threshold:
+                return True
+        return False
+
+    def _backoff_lr(self) -> None:
+        self.optimizer.lr = max(
+            self.optimizer.lr * self.config.lr_backoff, self.config.min_lr
+        )
+
+    def _record(self, record: StepHealth) -> None:
+        self.report.history.append(record)
+        if len(self.report.history) > self.config.history_limit:
+            del self.report.history[0]
+
+    def _bad(self, epoch: int, step: int, loss: float, grad_norm: float) -> None:
+        self.report.bad_steps += 1
+        self.report.skipped_steps += 1
+        self._consecutive_bad += 1
+        self._backoff_lr()
+        self._record(StepHealth(epoch, step, loss, grad_norm, "skip"))
+        if self._consecutive_bad < self.config.max_bad_steps:
+            return
+        # The bad streak exhausted its budget: roll back, or give up.
+        if self._snapshot is None or self.report.rollbacks >= self.config.max_rollbacks:
+            self._record(StepHealth(epoch, step, loss, grad_norm, "diverged"))
+            raise DivergenceError(
+                f"training diverged at epoch {epoch}, step {step}: "
+                f"{self.report.bad_steps} bad step(s), "
+                f"{self.report.rollbacks} rollback(s) exhausted"
+                + ("" if self._snapshot is not None else " (no good snapshot)"),
+                history=list(self.report.history),
+            )
+        model_state, optimizer_state = self._snapshot
+        self.model.load_state_dict(model_state)
+        self.optimizer.load_state_dict(optimizer_state)
+        self.report.rollbacks += 1
+        self._consecutive_bad = 0
+        self._record(StepHealth(epoch, step, loss, grad_norm, "rollback"))

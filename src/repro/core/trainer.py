@@ -3,6 +3,14 @@
 The paper trains forecasting models with MAE loss and Adam (lr 1e-3, weight
 decay 1e-4); this trainer reproduces that recipe with early stopping on
 validation MAE and keeps the best state.
+
+Numerical robustness (see ``docs/numerics.md``): every step's loss and
+gradient norm pass through a :class:`~repro.core.health.HealthMonitor`,
+which skips bad steps with learning-rate backoff, rolls back to the
+last-good snapshot on a bad streak, and raises a typed
+:class:`~repro.core.health.DivergenceError` when recovery fails — so a
+pathological candidate in a search campaign is a well-defined outcome
+rather than a crash three epochs in.
 """
 
 from __future__ import annotations
@@ -17,8 +25,9 @@ from ..data.windows import WindowSet, iterate_batches
 from ..metrics import ForecastScores, evaluate_forecast
 from ..nn.loss import mae_loss
 from ..nn.module import Module
-from ..optim import Adam, clip_grad_norm
+from ..optim import Adam, clip_grad_norm, grad_norm
 from ..utils.seeding import derive_rng
+from .health import DivergenceError, HealthConfig, HealthMonitor, HealthReport
 
 
 @dataclass(frozen=True)
@@ -32,6 +41,7 @@ class TrainConfig:
     grad_clip: float = 5.0
     patience: int = 5
     seed: int = 0
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -49,6 +59,7 @@ class TrainResult:
     best_val_mae: float = float("inf")
     best_epoch: int = -1
     stopped_early: bool = False
+    health: HealthReport = field(default_factory=HealthReport)
 
 
 def train_forecaster(
@@ -57,39 +68,69 @@ def train_forecaster(
     val_windows: WindowSet,
     config: TrainConfig = TrainConfig(),
 ) -> TrainResult:
-    """Train ``model`` on ``train_windows`` with early stopping on val MAE."""
+    """Train ``model`` on ``train_windows`` with early stopping on val MAE.
+
+    Raises :class:`~repro.core.health.DivergenceError` when the health
+    monitor's skip/backoff/rollback ladder cannot recover the run.  Overflow
+    warnings are suppressed inside the monitored loop: non-finite values are
+    *detected* by the monitor's explicit checks, not reported as numpy
+    warnings, so ``-W error::RuntimeWarning`` runs stay clean.
+    """
     optimizer = Adam(
         model.parameters(), lr=config.lr, weight_decay=config.weight_decay
     )
     rng = derive_rng(config.seed, "trainer")
     result = TrainResult()
+    monitor = (
+        HealthMonitor(config.health, model, optimizer)
+        if config.health.enabled
+        else None
+    )
+    if monitor is not None:
+        result.health = monitor.report
     best_state: dict[str, np.ndarray] | None = None
     epochs_without_improvement = 0
-    for epoch in range(config.epochs):
-        model.train()
-        epoch_losses = []
-        for x, y in iterate_batches(train_windows, config.batch_size, rng=rng):
-            optimizer.zero_grad()
-            loss = mae_loss(model(Tensor(x)), y)
-            loss.backward()
-            if config.grad_clip:
-                clip_grad_norm(optimizer.parameters, config.grad_clip)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        result.train_losses.append(float(np.mean(epoch_losses)))
+    step = 0
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        for epoch in range(config.epochs):
+            model.train()
+            epoch_losses = []
+            for x, y in iterate_batches(train_windows, config.batch_size, rng=rng):
+                optimizer.zero_grad()
+                loss = mae_loss(model(Tensor(x)), y)
+                loss_value = loss.item()
+                step += 1
+                if monitor is not None and not monitor.check_loss(
+                    epoch, step, loss_value
+                ):
+                    continue
+                loss.backward()
+                if config.grad_clip:
+                    norm = clip_grad_norm(optimizer.parameters, config.grad_clip)
+                else:
+                    norm = grad_norm(optimizer.parameters) if monitor else 0.0
+                if monitor is not None and not monitor.check_grads(epoch, step, norm):
+                    continue
+                optimizer.step()
+                if monitor is not None:
+                    monitor.step_ok()
+                epoch_losses.append(loss_value)
+            result.train_losses.append(
+                float(np.mean(epoch_losses)) if epoch_losses else float("inf")
+            )
 
-        val_mae = evaluate_forecaster(model, val_windows, config.batch_size).mae
-        result.val_maes.append(val_mae)
-        if val_mae < result.best_val_mae:
-            result.best_val_mae = val_mae
-            result.best_epoch = epoch
-            best_state = model.state_dict()
-            epochs_without_improvement = 0
-        else:
-            epochs_without_improvement += 1
-            if epochs_without_improvement >= config.patience:
-                result.stopped_early = True
-                break
+            val_mae = evaluate_forecaster(model, val_windows, config.batch_size).mae
+            result.val_maes.append(val_mae)
+            if val_mae < result.best_val_mae:
+                result.best_val_mae = val_mae
+                result.best_epoch = epoch
+                best_state = model.state_dict()
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= config.patience:
+                    result.stopped_early = True
+                    break
     if best_state is not None:
         model.load_state_dict(best_state)
     return result

@@ -4,11 +4,15 @@ from .datasets import (
     CTSData,
     DATASET_SPECS,
     DatasetSpec,
+    NonFiniteDataError,
+    NonFiniteReport,
     SOURCE_DATASETS,
     TARGET_DATASETS,
     get_dataset,
     get_spec,
     list_datasets,
+    non_finite_report,
+    sanitize_values,
 )
 from .generators import GENERATORS
 from .graph import (
@@ -26,11 +30,15 @@ __all__ = [
     "CTSData",
     "DATASET_SPECS",
     "DatasetSpec",
+    "NonFiniteDataError",
+    "NonFiniteReport",
     "SOURCE_DATASETS",
     "TARGET_DATASETS",
     "get_dataset",
     "get_spec",
     "list_datasets",
+    "non_finite_report",
+    "sanitize_values",
     "GENERATORS",
     "gaussian_kernel_adjacency",
     "random_sensor_positions",

@@ -19,8 +19,87 @@ from .graph import subsample_adjacency
 
 
 @dataclass(frozen=True)
+class NonFiniteReport:
+    """Where the NaN/Inf entries of a ``(N, T, F)`` array live.
+
+    ``sensors`` and ``timesteps`` list the affected indices (capped at
+    ``MAX_LISTED`` each so a fully-corrupted array stays readable).
+    """
+
+    MAX_LISTED = 16
+
+    bad_count: int
+    total: int
+    sensors: tuple[int, ...]
+    timesteps: tuple[int, ...]
+    sensors_truncated: bool = False
+    timesteps_truncated: bool = False
+
+    def describe(self) -> str:
+        sensors = ", ".join(map(str, self.sensors)) + (
+            ", ..." if self.sensors_truncated else ""
+        )
+        steps = ", ".join(map(str, self.timesteps)) + (
+            ", ..." if self.timesteps_truncated else ""
+        )
+        return (
+            f"{self.bad_count}/{self.total} non-finite entries; "
+            f"affected sensors: [{sensors}]; affected timesteps: [{steps}]"
+        )
+
+
+def non_finite_report(values: np.ndarray) -> NonFiniteReport | None:
+    """A :class:`NonFiniteReport` for ``values`` (N, T, F), or ``None`` if clean."""
+    values = np.asarray(values)
+    with np.errstate(invalid="ignore"):
+        bad = ~np.isfinite(values)
+    if not bad.any():
+        return None
+    cap = NonFiniteReport.MAX_LISTED
+    if values.ndim >= 2:
+        sensors = np.flatnonzero(bad.reshape(bad.shape[0], -1).any(axis=1))
+        timesteps = np.flatnonzero(
+            bad.reshape(bad.shape[0], bad.shape[1], -1).any(axis=(0, 2))
+        )
+    else:
+        sensors = np.array([], dtype=np.int64)
+        timesteps = np.flatnonzero(bad)
+    return NonFiniteReport(
+        bad_count=int(bad.sum()),
+        total=int(bad.size),
+        sensors=tuple(int(i) for i in sensors[:cap]),
+        timesteps=tuple(int(i) for i in timesteps[:cap]),
+        sensors_truncated=len(sensors) > cap,
+        timesteps_truncated=len(timesteps) > cap,
+    )
+
+
+class NonFiniteDataError(ValueError):
+    """A dataset carried NaN/Inf values at load time.
+
+    Rejecting corrupt data at the door is the cheapest numerical guardrail:
+    one NaN timestep silently poisons every training window that overlaps
+    it, and the failure only surfaces much later as a diverged candidate.
+    """
+
+    def __init__(self, name: str, report: NonFiniteReport, where: str = "values"):
+        self.name = name
+        self.report = report
+        self.where = where
+        super().__init__(
+            f"dataset {name!r} has non-finite {where}: {report.describe()}"
+        )
+
+
+@dataclass(frozen=True)
 class CTSData:
-    """A correlated time series dataset: values ``(N, T, F)`` and its graph."""
+    """A correlated time series dataset: values ``(N, T, F)`` and its graph.
+
+    Construction validates finiteness: corrupt values or adjacency raise a
+    :class:`NonFiniteDataError` naming the affected sensors and timesteps.
+    Use :func:`sanitize_values` (``on_non_finite="impute"``) to repair an
+    array before construction instead of rejecting it.
+    """
 
     name: str
     values: np.ndarray
@@ -36,6 +115,22 @@ class CTSData:
             raise ValueError(
                 f"adjacency {self.adjacency.shape} inconsistent with N={n}"
             )
+        report = non_finite_report(self.values)
+        if report is not None:
+            raise NonFiniteDataError(self.name, report)
+        if not np.isfinite(self.adjacency).all():
+            bad = ~np.isfinite(self.adjacency)
+            rows = tuple(
+                int(i)
+                for i in np.flatnonzero(bad.any(axis=1))[: NonFiniteReport.MAX_LISTED]
+            )
+            report = NonFiniteReport(
+                bad_count=int(bad.sum()),
+                total=int(bad.size),
+                sensors=rows,
+                timesteps=(),
+            )
+            raise NonFiniteDataError(self.name, report, where="adjacency")
 
     @property
     def n_series(self) -> int:
@@ -130,6 +225,33 @@ DATASET_SPECS: dict[str, DatasetSpec] = {**SOURCE_DATASETS, **TARGET_DATASETS}
 def list_datasets() -> list[str]:
     """Names of every registered benchmark dataset."""
     return sorted(DATASET_SPECS)
+
+
+def sanitize_values(
+    values: np.ndarray,
+    name: str = "<unnamed>",
+    on_non_finite: str = "raise",
+) -> tuple[np.ndarray, NonFiniteReport | None]:
+    """Validate (or repair) a raw value array before it becomes a dataset.
+
+    ``on_non_finite="raise"`` rejects corrupt data with a
+    :class:`NonFiniteDataError`; ``"impute"`` replaces NaN/Inf entries with
+    their series' finite mean (see
+    :func:`~repro.data.transforms.impute_non_finite`) and returns the report
+    of what was repaired.  Clean arrays pass through untouched.
+    """
+    if on_non_finite not in ("raise", "impute"):
+        raise ValueError(
+            f"on_non_finite must be 'raise' or 'impute', got {on_non_finite!r}"
+        )
+    report = non_finite_report(values)
+    if report is None:
+        return values, None
+    if on_non_finite == "raise":
+        raise NonFiniteDataError(name, report)
+    from .transforms import impute_non_finite
+
+    return impute_non_finite(values), report
 
 
 def get_dataset(name: str, seed: int = 0) -> CTSData:

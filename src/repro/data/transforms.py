@@ -48,6 +48,29 @@ def timestamp_mask(
     return masked
 
 
+def impute_non_finite(values: np.ndarray) -> np.ndarray:
+    """Replace NaN/Inf entries with their series-feature's finite mean.
+
+    Works on ``(..., T, F)`` arrays: each (series, feature) slice is imputed
+    with the mean of its *finite* timesteps; a slice with no finite value at
+    all falls back to 0.0.  Finite entries are returned bit-identical, so
+    imputation is a no-op on clean data.
+    """
+    values = np.asarray(values)
+    with np.errstate(invalid="ignore"):
+        bad = ~np.isfinite(values)
+    if not bad.any():
+        return values
+    clean = values.copy()
+    clean[bad] = 0.0
+    finite_count = (~bad).sum(axis=-2, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = clean.sum(axis=-2, keepdims=True) / np.maximum(finite_count, 1)
+    fill = np.broadcast_to(means, values.shape)[bad]
+    clean[bad] = fill
+    return clean
+
+
 def missing_blocks(
     values: np.ndarray,
     rng: np.random.Generator,

@@ -110,10 +110,16 @@ class ProbSparseAttention(Module):
         if u >= length:
             return self.inner(x)
         # Score query activity on detached data; selection is not differentiable.
-        with no_grad():
+        with no_grad(), np.errstate(over="ignore", invalid="ignore"):
             q = self.inner._split_heads(self.inner.q_proj(x.detach()))
             k = self.inner._split_heads(self.inner.k_proj(x.detach()))
             scores = np.matmul(q.data, np.swapaxes(k.data, -1, -2))
+            # Guard the selection heuristic: extreme inputs can overflow the
+            # raw scores, and a NaN/Inf sparsity would make argpartition
+            # nondeterministic.  The heuristic only picks rows, so clamping
+            # to finite values keeps selection well-defined without touching
+            # the differentiable path.
+            scores = np.nan_to_num(scores, copy=False)
             sparsity = scores.max(axis=-1) - scores.mean(axis=-1)  # (B, H, L)
             activity = sparsity.mean(axis=1)  # (B, L): head-averaged
         # Use one shared top-u set per batch element (batch-major gather).

@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, absolute, as_tensor, clip, log, mean, sigmoid
+from ..autodiff import Tensor, absolute, as_tensor, mean
+from ..autodiff.tensor import make_op
 
 
 def mae_loss(prediction: Tensor, target) -> Tensor:
@@ -34,10 +35,27 @@ def masked_mae_loss(prediction: Tensor, target, null_value: float = 0.0) -> Tens
 
 
 def bce_with_logits(logits: Tensor, labels) -> Tensor:
-    """Numerically safe binary cross-entropy on raw logits."""
-    probs = clip(sigmoid(logits), 1e-7, 1.0 - 1e-7)
+    """Binary cross-entropy on raw logits, in the log-sigmoid formulation.
+
+    Computes ``mean(max(x, 0) - x*y + log1p(exp(-|x|)))``, which is exact
+    and finite for every finite logit: ``exp(-|x|)`` never overflows and
+    ``log1p`` never sees zero, unlike the clipped ``log(sigmoid(x))`` form
+    this replaces (which saturated — zero gradient — beyond the clip range
+    and biased the loss near it).  The gradient is the textbook
+    ``sigmoid(x) - y``.
+    """
+    logits = as_tensor(logits)
     labels = as_tensor(labels)
-    return -mean(labels * log(probs) + (1.0 - labels) * log(1.0 - probs))
+    x, y = logits.data, labels.data
+    out = np.maximum(x, 0.0) - x * y + np.log1p(np.exp(-np.abs(x)))
+
+    def bce_backward(grad):
+        positive = x >= 0
+        e = np.exp(np.where(positive, -x, x))
+        sig = np.where(positive, 1.0 / (1.0 + e), e / (1.0 + e))
+        return grad * (sig - y), grad * (-x)
+
+    return mean(make_op(out, (logits, labels), bce_backward))
 
 
 def hinge_rank_loss(score_a: Tensor, score_b: Tensor, margin: float = 0.1) -> Tensor:

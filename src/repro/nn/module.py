@@ -13,6 +13,7 @@ from typing import Iterator
 import numpy as np
 
 from ..autodiff import Tensor
+from ..autodiff.anomaly import anomaly_enabled, module_scope
 
 
 class Parameter(Tensor):
@@ -113,6 +114,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if anomaly_enabled():
+            # Record the module chain so a NonFiniteError can name the
+            # creating module path, not just the raw op.
+            with module_scope(type(self).__name__):
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
 

@@ -1,6 +1,14 @@
 """Optimizers and training utilities."""
 
-from .optimizer import SGD, Adam, Optimizer, clip_grad_norm
+from .optimizer import SGD, Adam, Optimizer, clip_grad_norm, grad_norm
 from .schedulers import CosineAnnealingLR, StepLR
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "grad_norm",
+    "StepLR",
+    "CosineAnnealingLR",
+]

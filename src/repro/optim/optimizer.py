@@ -153,11 +153,29 @@ class Adam(Optimizer):
         self._step = int(state["step"])
 
 
-def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
-    """Clip the global L2 norm of all gradients in place; return the norm."""
+def grad_norm(parameters: Iterable[Parameter]) -> float:
+    """Global L2 norm of all gradients (non-finite if any grad is).
+
+    Overflow in the squared sum is deliberate and silenced: callers (the
+    trainer's health monitor, :func:`clip_grad_norm`) detect divergence by
+    checking the returned value, not by numpy warnings.
+    """
     params = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(np.sum([float((p.grad**2).sum()) for p in params])))
-    if total > max_norm and total > 0:
+    with np.errstate(over="ignore", invalid="ignore"):
+        return float(np.sqrt(np.sum([float((p.grad**2).sum()) for p in params])))
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip the global L2 norm of all gradients in place; return the norm.
+
+    Non-finite and zero norms are returned untouched *without* scaling: a
+    NaN/Inf norm would otherwise poison every gradient with NaN (or zero
+    them via ``max_norm / inf``), and a zero norm would divide by zero.
+    Callers that want to react to a bad norm check the returned value.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = grad_norm(params)
+    if np.isfinite(total) and total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:
             param.grad = param.grad * scale

@@ -35,7 +35,15 @@ from .checkpoint import (
     EvalProgress,
     default_checkpoint_dir,
 )
-from .evaluator import EvalStats, ProxyEvaluator, WORKERS_ENV, resolve_workers
+from .evaluator import (
+    DIVERGENCE_POLICIES,
+    DIVERGENCE_POLICY_ENV,
+    EvalStats,
+    ProxyEvaluator,
+    WORKERS_ENV,
+    resolve_divergence_policy,
+    resolve_workers,
+)
 from .faults import (
     EVAL_TIMEOUT_ENV,
     EvalFailedError,
@@ -79,17 +87,25 @@ def configure_default_evaluator(
     max_retries: int | None = None,
     eval_timeout: float | None = None,
     retry_policy: RetryPolicy | None = None,
+    divergence_policy: str | None = None,
 ) -> ProxyEvaluator:
     """Build, install, and return a default evaluator from CLI-style knobs.
 
     ``retry_policy`` wins when given; otherwise ``max_retries`` /
     ``eval_timeout`` (with ``$REPRO_MAX_RETRIES`` / ``$REPRO_EVAL_TIMEOUT``
     fallbacks) are resolved into one, or ``None`` for fail-fast.
+    ``divergence_policy`` is ``"sentinel"`` / ``"raise"`` (``None`` reads
+    ``$REPRO_DIVERGENCE_POLICY``, defaulting to ``sentinel``).
     """
     cache = EvalCache(cache_dir) if cache_enabled else None
     if retry_policy is None:
         retry_policy = resolve_retry_policy(max_retries, eval_timeout)
-    evaluator = ProxyEvaluator(workers=workers, cache=cache, retry_policy=retry_policy)
+    evaluator = ProxyEvaluator(
+        workers=workers,
+        cache=cache,
+        retry_policy=retry_policy,
+        divergence_policy=divergence_policy,
+    )
     set_default_evaluator(evaluator)
     return evaluator
 
@@ -101,6 +117,8 @@ __all__ = [
     "CHECKPOINT_DIR_ENV",
     "CHECKPOINT_FORMAT_VERSION",
     "Checkpoint",
+    "DIVERGENCE_POLICIES",
+    "DIVERGENCE_POLICY_ENV",
     "EVAL_CACHE_ENV",
     "EVAL_TIMEOUT_ENV",
     "EvalCache",
@@ -117,6 +135,7 @@ __all__ = [
     "default_checkpoint_dir",
     "get_default_evaluator",
     "proxy_fingerprint",
+    "resolve_divergence_policy",
     "resolve_retry_policy",
     "resolve_workers",
     "set_default_evaluator",

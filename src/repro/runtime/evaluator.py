@@ -46,8 +46,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core.health import DivergenceError
 from ..space.archhyper import ArchHyper
-from ..tasks.proxy import ProxyConfig, measure_arch_hyper
+from ..tasks.proxy import SENTINEL_SCORE, ProxyConfig, measure_arch_hyper
 from ..tasks.task import Task
 from .cache import EvalCache
 from .checkpoint import EvalProgress
@@ -57,6 +58,28 @@ from .fingerprint import proxy_fingerprint
 logger = logging.getLogger(__name__)
 
 WORKERS_ENV = "REPRO_WORKERS"
+DIVERGENCE_POLICY_ENV = "REPRO_DIVERGENCE_POLICY"
+DIVERGENCE_POLICIES = ("sentinel", "raise")
+
+
+def resolve_divergence_policy(policy: str | None = None) -> str:
+    """Divergence policy: explicit argument, else env var, else ``sentinel``.
+
+    ``sentinel`` maps a diverged candidate to the deterministic worst-case
+    :data:`~repro.tasks.proxy.SENTINEL_SCORE`; ``raise`` propagates the
+    :class:`~repro.core.health.DivergenceError`.  Either way divergence is
+    *retry-exempt*: re-running a deterministic divergence re-diverges, so
+    retrying would only burn the fault budget.
+    """
+    if policy is None:
+        env = os.environ.get(DIVERGENCE_POLICY_ENV, "").strip().lower()
+        policy = env or "sentinel"
+    if policy not in DIVERGENCE_POLICIES:
+        raise ValueError(
+            f"unknown divergence policy {policy!r}; expected one of "
+            f"{DIVERGENCE_POLICIES}"
+        )
+    return policy
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -78,6 +101,7 @@ class EvalStats:
     timeouts: int = 0
     failures: int = 0
     degradations: int = 0
+    divergences: int = 0
     eval_seconds: list[float] = field(default_factory=list)
     batch_seconds: float = 0.0
     batches: int = 0
@@ -115,19 +139,32 @@ class EvalStats:
             f"; faults: {self.retries} retries, {self.timeouts} timeouts, "
             f"{self.degradations} pool degradations, {self.failures} failures"
         )
+        if self.divergences:
+            line += f"; {self.divergences} diverged candidate(s) -> sentinel score"
         return line
 
 
-def _timed_eval(payload: tuple) -> tuple[float, float]:
-    """Run one evaluation and report (score, wall seconds).
+def _timed_eval(payload: tuple) -> tuple[float, float, bool]:
+    """Run one evaluation and report (score, wall seconds, diverged).
 
     Module-level so the process-pool backend can pickle it; the eval function
     itself rides along in the payload and must be picklable too.
+
+    Divergence handling lives *here*, inside the unit of work, so the serial
+    and process-pool backends behave identically: under the ``sentinel``
+    policy a :class:`DivergenceError` deterministically becomes
+    :data:`SENTINEL_SCORE` (no exception crosses the process boundary, no
+    retry is triggered); under ``raise`` it propagates to the caller.
     """
-    eval_fn, arch_hyper, task, config = payload
+    eval_fn, arch_hyper, task, config, divergence_policy = payload
     start = time.perf_counter()
-    score = eval_fn(arch_hyper, task, config)
-    return float(score), time.perf_counter() - start
+    try:
+        score = eval_fn(arch_hyper, task, config)
+    except DivergenceError:
+        if divergence_policy == "raise":
+            raise
+        return SENTINEL_SCORE, time.perf_counter() - start, True
+    return float(score), time.perf_counter() - start, False
 
 
 # One evaluation job flowing through a backend: its position in the batch,
@@ -149,6 +186,12 @@ class ProxyEvaluator:
         retry_policy: a :class:`~repro.runtime.faults.RetryPolicy` governing
             per-evaluation retries, backoff, and timeouts; ``None`` (the
             default) fails fast with no timeout enforcement.
+        divergence_policy: ``"sentinel"`` (default; a diverged candidate
+            deterministically scores :data:`~repro.tasks.proxy.SENTINEL_SCORE`
+            — cacheable, retry-exempt, bitwise-identical on every backend) or
+            ``"raise"`` (a :class:`~repro.core.health.DivergenceError`
+            propagates, still without burning retries); ``None`` reads
+            ``$REPRO_DIVERGENCE_POLICY``.
     """
 
     def __init__(
@@ -157,11 +200,13 @@ class ProxyEvaluator:
         cache: EvalCache | None = None,
         eval_fn: Callable[[ArchHyper, Task, ProxyConfig], float] | None = None,
         retry_policy: RetryPolicy | None = None,
+        divergence_policy: str | None = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.eval_fn = eval_fn or measure_arch_hyper
         self.retry_policy = retry_policy
+        self.divergence_policy = resolve_divergence_policy(divergence_policy)
         self.stats = EvalStats()
         self._sleep = time.sleep  # injectable for fast tests
 
@@ -227,11 +272,15 @@ class ProxyEvaluator:
             self.stats.misses += 1
             jobs.append((position, fingerprint, arch_hyper, task))
 
-        def on_result(job: _Job, score: float, seconds: float) -> None:
+        def on_result(job: _Job, score: float, seconds: float, diverged: bool) -> None:
             position, fingerprint, _, _ = job
             scores[position] = score
             self.stats.eval_seconds.append(seconds)
+            if diverged:
+                self.stats.divergences += 1
             if self.cache is not None and fingerprint is not None:
+                # Sentinel scores are cached like any other: the fingerprint
+                # fully determines divergence, so re-evaluating is pointless.
                 self.cache.put(fingerprint, score, seconds)
             if progress is not None and fingerprint is not None:
                 progress.record(fingerprint, score)
@@ -254,13 +303,13 @@ class ProxyEvaluator:
     # ------------------------------------------------------------------
     def _payload(self, job: _Job, config: ProxyConfig) -> tuple:
         _, _, arch_hyper, task = job
-        return (self.eval_fn, arch_hyper, task, config)
+        return (self.eval_fn, arch_hyper, task, config, self.divergence_policy)
 
     def _run_backend(
         self,
         jobs: list[_Job],
         config: ProxyConfig,
-        on_result: Callable[[_Job, float, float], None],
+        on_result: Callable[[_Job, float, float, bool], None],
     ) -> None:
         if self.workers <= 1 or len(jobs) <= 1:
             self._run_serial(jobs, config, on_result)
@@ -286,17 +335,17 @@ class ProxyEvaluator:
         self,
         jobs: list[_Job],
         config: ProxyConfig,
-        on_result: Callable[[_Job, float, float], None],
+        on_result: Callable[[_Job, float, float, bool], None],
     ) -> None:
         for job in jobs:
-            score, seconds = self._run_one_with_retries(job, config)
-            on_result(job, score, seconds)
+            score, seconds, diverged = self._run_one_with_retries(job, config)
+            on_result(job, score, seconds, diverged)
 
     def _run_pool(
         self,
         jobs: list[_Job],
         config: ProxyConfig,
-        on_result: Callable[[_Job, float, float], None],
+        on_result: Callable[[_Job, float, float, bool], None],
         settled: set[int],
     ) -> None:
         policy = self.retry_policy
@@ -309,7 +358,7 @@ class ProxyEvaluator:
                 while True:
                     error: BaseException
                     try:
-                        score, seconds = future.result(timeout=timeout)
+                        score, seconds, diverged = future.result(timeout=timeout)
                         break
                     except FutureTimeoutError:
                         self.stats.timeouts += 1
@@ -319,6 +368,12 @@ class ProxyEvaluator:
                         )
                     except BrokenProcessPool:
                         raise  # degrade in _run_backend
+                    except DivergenceError:
+                        # Only reaches here under divergence_policy="raise".
+                        # Deterministic: a retry would re-diverge identically,
+                        # so divergence is exempt from the retry budget.
+                        self.stats.divergences += 1
+                        raise
                     except Exception as exc:  # a fault raised inside the worker
                         error = exc
                     attempts += 1
@@ -332,7 +387,7 @@ class ProxyEvaluator:
                     self.stats.retries += 1
                     self._sleep(policy.delay(attempts - 1, job[1]))
                     future = pool.submit(_timed_eval, self._payload(job, config))
-                on_result(job, score, seconds)
+                on_result(job, score, seconds, diverged)
                 settled.add(job[0])
         finally:
             # wait=False: never block on a worker wedged past its timeout.
@@ -341,7 +396,9 @@ class ProxyEvaluator:
     # ------------------------------------------------------------------
     # Serial attempts with retry / timeout
     # ------------------------------------------------------------------
-    def _run_one_with_retries(self, job: _Job, config: ProxyConfig) -> tuple[float, float]:
+    def _run_one_with_retries(
+        self, job: _Job, config: ProxyConfig
+    ) -> tuple[float, float, bool]:
         policy = self.retry_policy
         payload = self._payload(job, config)
         attempts = 0
@@ -352,6 +409,10 @@ class ProxyEvaluator:
             except EvalTimeoutError as exc:
                 self.stats.timeouts += 1
                 error = exc
+            except DivergenceError:
+                # divergence_policy="raise": typed, deterministic, retry-exempt.
+                self.stats.divergences += 1
+                raise
             except Exception as exc:
                 error = exc
             attempts += 1
@@ -365,7 +426,7 @@ class ProxyEvaluator:
             self.stats.retries += 1
             self._sleep(policy.delay(attempts - 1, job[1]))
 
-    def _attempt_serial(self, payload: tuple) -> tuple[float, float]:
+    def _attempt_serial(self, payload: tuple) -> tuple[float, float, bool]:
         """One in-process attempt, with thread-based timeout enforcement.
 
         Without a timeout the evaluation runs inline.  With one, it runs in

@@ -23,7 +23,8 @@ from pathlib import Path
 import numpy as np
 
 from ..comparator.ahc import AHC
-from ..comparator.pairing import dynamic_pairs, pair_index_arrays
+from ..comparator.pairing import dynamic_pairs, has_comparable_pair, pair_index_arrays
+from ..core.health import DivergenceError
 from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..metrics import ForecastScores
@@ -108,6 +109,12 @@ class AutoCTSPlusSearch:
         scores = evaluator.evaluate_pairs(
             [(ah, task) for ah in candidates], self.config.proxy, progress=progress
         )
+        if not has_comparable_pair(np.asarray(scores)):
+            raise DivergenceError(
+                f"every measured candidate diverged on task {task.name!r}; "
+                "no comparator training signal exists (try a smaller lr range "
+                "or inspect the task data for non-finite values)"
+            )
         return list(zip(candidates, scores))
 
     def train_comparator(
@@ -187,33 +194,46 @@ class AutoCTSPlusSearch:
     def train_final(
         self, task: Task, candidates: list[ArchHyper]
     ) -> tuple[ArchHyper, ForecastScores]:
-        """Stage 4: fully train the top-K, keep the validation winner."""
+        """Stage 4: fully train the top-K, keep the validation winner.
+
+        A candidate that diverges during final training (or lands on a
+        non-finite validation score) is dropped from contention instead of
+        crashing the pipeline; if *every* candidate diverges, a
+        :class:`~repro.core.health.DivergenceError` propagates.
+        """
         config = self.config
         prepared = task.prepared
         best_val = float("inf")
         best: tuple[ArchHyper, ForecastScores] | None = None
         for candidate in candidates:
             model = build_forecaster(candidate, task.data, task.horizon, seed=config.seed)
-            train_forecaster(
-                model,
-                prepared.train,
-                prepared.val,
-                TrainConfig(
-                    epochs=config.final_train_epochs,
-                    batch_size=config.batch_size,
-                    patience=max(3, config.final_train_epochs // 3),
-                    seed=config.seed,
-                ),
-            )
+            try:
+                train_forecaster(
+                    model,
+                    prepared.train,
+                    prepared.val,
+                    TrainConfig(
+                        epochs=config.final_train_epochs,
+                        batch_size=config.batch_size,
+                        patience=max(3, config.final_train_epochs // 3),
+                        seed=config.seed,
+                    ),
+                )
+            except DivergenceError:
+                continue  # diverged candidate: automatic loser
             val = evaluate_forecaster(model, prepared.val, config.batch_size)
             primary = val.primary(single_step=task.single_step)
-            if primary < best_val:
+            if np.isfinite(primary) and primary < best_val:
                 best_val = primary
                 test = evaluate_forecaster(
                     model, prepared.test, config.batch_size, inverse=prepared.inverse
                 )
                 best = (candidate, test)
-        assert best is not None
+        if best is None:
+            raise DivergenceError(
+                f"all {len(candidates)} final candidates diverged on task "
+                f"{task.name!r}"
+            )
         return best
 
     # ------------------------------------------------------------------

@@ -14,9 +14,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.health import DivergenceError
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
-from ..tasks.proxy import ProxyConfig
+from ..tasks.proxy import ProxyConfig, SENTINEL_SCORE, is_sentinel_score
 from ..tasks.task import Task
 
 if TYPE_CHECKING:
@@ -28,8 +29,25 @@ class SearchTrace:
     candidates: list[ArchHyper]
     scores: list[float]
 
+    def __post_init__(self) -> None:
+        # Non-finite scores (possible when scores come from a custom eval
+        # path rather than the evaluator) are clamped to the deterministic
+        # sentinel so argmin below can never pick a NaN.
+        self.scores = [
+            float(s) if np.isfinite(s) else SENTINEL_SCORE for s in self.scores
+        ]
+
+    @property
+    def diverged(self) -> int:
+        """How many candidates carry the diverged-sentinel score."""
+        return sum(1 for s in self.scores if is_sentinel_score(s))
+
     @property
     def best(self) -> ArchHyper:
+        if self.diverged == len(self.scores):
+            raise DivergenceError(
+                f"all {len(self.scores)} candidates diverged; no best exists"
+            )
         return self.candidates[int(np.argmin(self.scores))]
 
     @property

@@ -73,6 +73,12 @@ class EvolutionarySearch:
     def _rank(self, candidates: list[ArchHyper], k: int) -> list[ArchHyper]:
         wins = self.compare(candidates)
         self.comparisons += len(candidates) * (len(candidates) - 1)
+        if not np.isfinite(wins).all():
+            # A non-finite win probability (poisoned comparator weights, an
+            # overflowed logit) must not leak into Round-Robin ranking, where
+            # NaN comparisons would make selection nondeterministic; treat
+            # the entry as a loss for the row candidate.
+            wins = np.where(np.isfinite(wins), wins, 0.0)
         return [candidates[i] for i in round_robin_top_k(wins, k)]
 
     def _offspring(self, population: list[ArchHyper]) -> ArchHyper:

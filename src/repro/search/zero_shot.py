@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..comparator.tahc import TAHC
+from ..core.health import DivergenceError
 from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..embedding.task_encoder import PreliminaryEmbedder, preliminary_task_embedding
@@ -117,7 +118,15 @@ class ZeroShotSearch:
     def train_final(
         self, task: Task, candidates: list[ArchHyper]
     ) -> tuple[ArchHyper, ForecastScores, list[float]]:
-        """Phase 3: fully train top-K candidates, keep the best on validation."""
+        """Phase 3: fully train top-K candidates, keep the best on validation.
+
+        A candidate that diverges in final training (or produces a non-finite
+        validation score) records the deterministic sentinel score and is
+        dropped from contention.  If every candidate diverges, a
+        :class:`~repro.core.health.DivergenceError` propagates.
+        """
+        from ..tasks.proxy import SENTINEL_SCORE
+
         prepared = task.prepared
         config = self.config
         best_val = float("inf")
@@ -127,21 +136,28 @@ class ZeroShotSearch:
             model = build_forecaster(
                 candidate, task.data, task.horizon, seed=config.seed
             )
-            train_forecaster(
-                model,
-                prepared.train,
-                prepared.val,
-                TrainConfig(
-                    epochs=config.final_train_epochs,
-                    batch_size=config.batch_size,
-                    lr=config.lr,
-                    weight_decay=config.weight_decay,
-                    patience=max(3, config.final_train_epochs // 3),
-                    seed=config.seed,
-                ),
-            )
+            try:
+                train_forecaster(
+                    model,
+                    prepared.train,
+                    prepared.val,
+                    TrainConfig(
+                        epochs=config.final_train_epochs,
+                        batch_size=config.batch_size,
+                        lr=config.lr,
+                        weight_decay=config.weight_decay,
+                        patience=max(3, config.final_train_epochs // 3),
+                        seed=config.seed,
+                    ),
+                )
+            except DivergenceError:
+                val_scores.append(SENTINEL_SCORE)
+                continue  # diverged candidate: automatic loser
             val = evaluate_forecaster(model, prepared.val, config.batch_size)
             val_primary = val.primary(single_step=task.single_step)
+            if not np.isfinite(val_primary):
+                val_scores.append(SENTINEL_SCORE)
+                continue
             val_scores.append(val_primary)
             if val_primary < best_val:
                 best_val = val_primary
@@ -149,7 +165,11 @@ class ZeroShotSearch:
                     model, prepared.test, config.batch_size, inverse=prepared.inverse
                 )
                 best = (candidate, test)
-        assert best is not None, "train_final requires at least one candidate"
+        if best is None:
+            raise DivergenceError(
+                f"all {len(candidates)} final candidates diverged on task "
+                f"{task.name!r}"
+            )
         return best[0], best[1], val_scores
 
     # ------------------------------------------------------------------

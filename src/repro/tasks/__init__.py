@@ -1,7 +1,13 @@
 """CTS forecasting tasks, enrichment, and the early-validation proxy."""
 
 from .enrichment import EnrichmentConfig, derive_subset, enrich_tasks, supported_settings
-from .proxy import ProxyConfig, full_train_score, measure_arch_hyper
+from .proxy import (
+    SENTINEL_SCORE,
+    ProxyConfig,
+    full_train_score,
+    is_sentinel_score,
+    measure_arch_hyper,
+)
 from .task import PreparedTask, Task
 
 __all__ = [
@@ -9,8 +15,10 @@ __all__ = [
     "derive_subset",
     "enrich_tasks",
     "supported_settings",
+    "SENTINEL_SCORE",
     "ProxyConfig",
     "full_train_score",
+    "is_sentinel_score",
     "measure_arch_hyper",
     "PreparedTask",
     "Task",

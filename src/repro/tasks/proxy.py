@@ -11,11 +11,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..core.health import DivergenceError
 from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..metrics import ForecastScores
 from ..space.archhyper import ArchHyper
 from .task import Task
+
+# The deterministic worst-case score assigned to a diverged candidate when
+# the evaluator's divergence policy is "sentinel".  It is *finite* (so
+# downstream ranking math stays NaN-free), bitwise-stable across backends
+# and platforms (a float32/float64-exact constant), and larger than any real
+# validation error, so a diverged candidate automatically loses every
+# comparison.  See docs/numerics.md.
+SENTINEL_SCORE = float(np.finfo(np.float32).max)
+
+
+def is_sentinel_score(score: float) -> bool:
+    """Whether ``score`` marks a diverged candidate (sentinel or non-finite)."""
+    return not np.isfinite(score) or score >= SENTINEL_SCORE
 
 
 @dataclass(frozen=True)
@@ -49,14 +65,25 @@ def measure_arch_hyper(
     """R'(ah): validation error after only ``k`` training epochs (Eq. 22).
 
     Returns the validation MAE (multi-step) or RRSE (single-step); lower is
-    better.
+    better.  Raises :class:`~repro.core.health.DivergenceError` when the
+    candidate diverges beyond the trainer's recovery ladder *or* finishes
+    with a non-finite validation score — divergence is a typed, deterministic
+    outcome here; the evaluator decides whether it becomes a sentinel score
+    or propagates (``--divergence-policy``).
     """
     config = config if config is not None else ProxyConfig()
     prepared = task.prepared
     model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
-    train_forecaster(model, prepared.train, prepared.val, config.train_config())
-    scores = evaluate_forecaster(model, prepared.val, config.batch_size)
-    return scores.primary(single_step=task.single_step)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        train_forecaster(model, prepared.train, prepared.val, config.train_config())
+        scores = evaluate_forecaster(model, prepared.val, config.batch_size)
+        value = float(scores.primary(single_step=task.single_step))
+    if not np.isfinite(value):
+        raise DivergenceError(
+            f"proxy evaluation produced a non-finite score ({value}) for "
+            f"{arch_hyper.hyper} on task {task.name!r}"
+        )
+    return value
 
 
 def full_train_score(

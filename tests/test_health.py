@@ -1,0 +1,246 @@
+"""Tests for the trainer health monitor and non-finite-safe gradient clipping."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig, build_forecaster, train_forecaster
+from repro.core.health import (
+    DivergenceError,
+    HealthConfig,
+    HealthMonitor,
+    StepHealth,
+)
+from repro.data import CTSData
+from repro.nn.linear import Linear
+from repro.optim import Adam, clip_grad_norm, grad_norm
+from repro.space import HyperSpace, JointSearchSpace
+from repro.tasks import Task
+
+TINY_HYPER = HyperSpace(
+    num_blocks=(1,), num_nodes=(3,), hidden_dims=(8,), output_dims=(8,),
+    output_modes=(0, 1), dropout=(0, 1),
+)
+
+
+def _toy_task(t=200, seed=0, name="toy"):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(10, 2, size=(4, t, 1)).astype(np.float32)
+    adj = np.ones((4, 4), dtype=np.float32)
+    return Task(CTSData(name, values, adj, "test"), p=6, q=3)
+
+
+def _monitored(config=None, lr=0.1):
+    model = Linear(2, 2, rng=np.random.default_rng(0))
+    optimizer = Adam(model.parameters(), lr=lr)
+    config = config or HealthConfig()
+    return HealthMonitor(config, model, optimizer), model, optimizer
+
+
+class TestHealthConfig:
+    def test_defaults_valid(self):
+        HealthConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_bad_steps": 0},
+            {"max_rollbacks": -1},
+            {"lr_backoff": 0.0},
+            {"lr_backoff": 1.0},
+            {"loss_explosion_factor": 1.0},
+            {"snapshot_interval": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthConfig(**kwargs)
+
+
+class TestHealthMonitor:
+    def test_healthy_steps_pass(self):
+        monitor, _, optimizer = _monitored()
+        for step in range(5):
+            assert monitor.check_loss(0, step, 1.0)
+            assert monitor.check_grads(0, step, 0.5)
+            monitor.step_ok()
+        assert monitor.report.bad_steps == 0
+        assert monitor.report.rollbacks == 0
+        assert optimizer.lr == 0.1
+        assert all(h.action == "ok" for h in monitor.report.history)
+
+    def test_nan_loss_skipped_with_backoff(self):
+        monitor, _, optimizer = _monitored(lr=0.1)
+        assert monitor.check_loss(0, 0, 1.0)
+        monitor.step_ok()
+        assert not monitor.check_loss(0, 1, float("nan"))
+        assert monitor.report.skipped_steps == 1
+        assert optimizer.lr == pytest.approx(0.05)
+        assert monitor.report.history[-1].action == "skip"
+
+    def test_loss_explosion_is_bad_even_when_finite(self):
+        monitor, _, _ = _monitored()
+        assert monitor.check_loss(0, 0, 1.0)
+        monitor.step_ok()
+        assert not monitor.check_loss(0, 1, 1e7)  # factor 1e6 vs first loss 1.0
+
+    def test_non_finite_grad_norm_skipped(self):
+        monitor, _, _ = _monitored()
+        assert monitor.check_loss(0, 0, 1.0)
+        assert not monitor.check_grads(0, 0, float("inf"))
+        assert monitor.report.skipped_steps == 1
+
+    def test_lr_backoff_floors_at_min_lr(self):
+        monitor, _, optimizer = _monitored(
+            HealthConfig(max_bad_steps=100, min_lr=1e-3), lr=1e-2
+        )
+        for step in range(50):
+            monitor.check_loss(0, step, float("nan"))
+        assert optimizer.lr == 1e-3
+
+    def test_rollback_restores_last_good_state(self):
+        config = HealthConfig(max_bad_steps=2, snapshot_interval=1)
+        monitor, model, optimizer = _monitored(config)
+        assert monitor.check_loss(0, 0, 1.0)
+        monitor.step_ok()  # snapshot of the current (good) weights
+        good = model.weight.data.copy()
+        model.weight.data[...] = 777.0  # poison, as a blown-up step would
+        assert not monitor.check_loss(0, 1, float("nan"))
+        assert not monitor.check_loss(0, 2, float("nan"))  # streak -> rollback
+        np.testing.assert_array_equal(model.weight.data, good)
+        assert monitor.report.rollbacks == 1
+        assert monitor.report.history[-1].action == "rollback"
+
+    def test_divergence_without_snapshot(self):
+        monitor, _, _ = _monitored(HealthConfig(max_bad_steps=1))
+        with pytest.raises(DivergenceError) as info:
+            monitor.check_loss(0, 0, float("inf"))
+        err = info.value
+        assert err.history
+        assert err.history[-1].action == "diverged"
+
+    def test_divergence_after_rollback_budget(self):
+        config = HealthConfig(max_bad_steps=1, max_rollbacks=1, snapshot_interval=1)
+        monitor, _, _ = _monitored(config)
+        monitor.check_loss(0, 0, 1.0)
+        monitor.step_ok()
+        assert not monitor.check_loss(0, 1, float("nan"))  # rollback #1
+        assert monitor.report.rollbacks == 1
+        with pytest.raises(DivergenceError):
+            monitor.check_loss(0, 2, float("nan"))  # budget exhausted
+
+    def test_history_is_bounded(self):
+        config = HealthConfig(history_limit=4)
+        monitor, _, _ = _monitored(config)
+        for step in range(10):
+            monitor.check_loss(0, step, 1.0)
+            monitor.step_ok()
+        assert len(monitor.report.history) == 4
+
+    def test_divergence_error_is_picklable(self):
+        err = DivergenceError(
+            "boom", history=[StepHealth(0, 1, float("nan"), 0.0, "diverged")]
+        )
+        restored = pickle.loads(pickle.dumps(err))
+        assert str(restored) == "boom"
+        assert restored.history[0].action == "diverged"
+
+
+class TestTrainerIntegration:
+    def test_huge_lr_raises_divergence_error(self):
+        task = _toy_task()
+        ah = JointSearchSpace(hyper_space=TINY_HYPER).sample(
+            np.random.default_rng(0)
+        )
+        model = build_forecaster(ah, task.data, task.horizon, seed=0)
+        with pytest.raises(DivergenceError) as info:
+            train_forecaster(
+                model,
+                task.prepared.train,
+                task.prepared.val,
+                TrainConfig(epochs=10, lr=1e3, patience=10),
+            )
+        assert info.value.history  # step provenance travels with the error
+
+    def test_monitor_is_inert_on_healthy_runs(self):
+        """A healthy monitored run must be bitwise-identical to an
+        unmonitored one — the monitor only observes, never perturbs."""
+        task = _toy_task()
+        ah = JointSearchSpace(hyper_space=TINY_HYPER).sample(
+            np.random.default_rng(0)
+        )
+
+        def run(health):
+            model = build_forecaster(ah, task.data, task.horizon, seed=0)
+            result = train_forecaster(
+                model,
+                task.prepared.train,
+                task.prepared.val,
+                TrainConfig(epochs=2, health=health),
+            )
+            return result, model.state_dict()
+
+        monitored, state_a = run(HealthConfig())
+        legacy, state_b = run(HealthConfig(enabled=False))
+        assert monitored.train_losses == legacy.train_losses
+        assert monitored.val_maes == legacy.val_maes
+        assert monitored.health.bad_steps == 0
+        for key in state_a:
+            np.testing.assert_array_equal(state_a[key], state_b[key])
+
+
+class _Param:
+    def __init__(self, grad):
+        self.grad = np.asarray(grad, dtype=np.float64)
+
+
+class TestClipGradNorm:
+    def test_finite_clipping_unchanged(self):
+        p = _Param([3.0, 4.0])  # norm 5
+        total = clip_grad_norm([p], 1.0)
+        assert total == pytest.approx(5.0)
+        np.testing.assert_allclose(p.grad, [0.6, 0.8])
+
+    def test_below_threshold_untouched(self):
+        p = _Param([0.3, 0.4])
+        clip_grad_norm([p], 1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_nan_norm_does_not_scale(self):
+        p = _Param([np.nan, 1.0])
+        with np.errstate(invalid="ignore"):
+            total = clip_grad_norm([p], 1.0)
+        assert np.isnan(total)
+        assert np.isnan(p.grad[0]) and p.grad[1] == 1.0  # untouched, not poisoned
+
+    def test_inf_norm_does_not_scale(self):
+        p = _Param([np.inf, 1.0])
+        with np.errstate(over="ignore"):
+            total = clip_grad_norm([p], 1.0)
+        assert np.isinf(total)
+        assert p.grad[1] == 1.0
+
+    def test_overflowing_norm_does_not_zero_grads(self):
+        # The squared sum overflows float64 even though each grad is finite;
+        # scaling by max_norm/inf would silently zero every gradient.
+        p = _Param([1e200, 1e200])
+        total = clip_grad_norm([p], 1.0)
+        assert np.isinf(total)
+        assert p.grad[0] == 1e200
+
+    def test_zero_norm_no_division(self):
+        p = _Param([0.0, 0.0])
+        total = clip_grad_norm([p], 1.0)
+        assert total == 0.0
+        np.testing.assert_array_equal(p.grad, [0.0, 0.0])
+
+    def test_grad_norm_matches_manual(self):
+        params = [_Param([3.0]), _Param([4.0])]
+        assert grad_norm(params) == pytest.approx(5.0)
+
+    def test_grad_norm_skips_gradless_params(self):
+        class NoGrad:
+            grad = None
+
+        assert grad_norm([NoGrad(), _Param([2.0])]) == pytest.approx(2.0)
