@@ -1,0 +1,103 @@
+"""Comparator ranking throughput: encode-once engine vs the legacy pair path.
+
+Ranking N candidates needs the full ordered-pair win matrix — 2·N·(N−1)
+comparisons.  The legacy path re-runs the GIN encoder on *both sides of every
+pair*; the :class:`~repro.comparator.scoring.RankingEngine` embeds each
+candidate exactly once and assembles the pair logits with head-only forwards,
+so the encoder cost drops from 2·N·(N−1) forwards to N.  This benchmark
+measures both paths on the same comparator and candidate pool and asserts:
+
+* the win matrices are **bitwise identical**,
+* the engine encodes exactly N graphs (the legacy path 2·N·(N−1)),
+* the engine is at least 5x faster wall-clock at the default N = 300,
+* a warm re-ranking (evolution survivors) costs zero encoder forwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.autodiff import no_grad
+from repro.comparator import AHC, RankingEngine
+from repro.comparator.ahc import pairwise_win_matrix
+from repro.experiments import ResultTable, print_and_save
+from repro.space import JointSearchSpace, encode_batch
+
+N_CANDIDATES = 300  # the paper's K_s at reproduction scale
+MIN_SPEEDUP = 5.0
+
+
+def run_rank_throughput(n_candidates: int = N_CANDIDATES):
+    space = JointSearchSpace()
+    candidates = space.sample_batch(n_candidates, np.random.default_rng(0))
+    model = AHC(embed_dim=32, gin_layers=3, hidden_dim=32, seed=0)
+    model.eval()
+
+    encodings = encode_batch(candidates)
+    model.gin.stats.reset()
+    start = time.perf_counter()
+    with no_grad():
+        legacy_wins = pairwise_win_matrix(model, encodings, n_candidates)
+    legacy_seconds = time.perf_counter() - start
+    legacy_rows = model.gin.stats.rows
+
+    engine = RankingEngine(model)
+    model.gin.stats.reset()
+    start = time.perf_counter()
+    engine_wins = engine.win_matrix(candidates)
+    engine_seconds = time.perf_counter() - start
+    engine_rows = model.gin.stats.rows
+
+    np.testing.assert_array_equal(engine_wins, legacy_wins)  # bitwise
+    assert engine_rows == n_candidates
+    assert legacy_rows == 2 * n_candidates * (n_candidates - 1)
+
+    # Re-ranking the same pool (the evolution-survivor case) is pure cache.
+    model.gin.stats.reset()
+    start = time.perf_counter()
+    warm_wins = engine.win_matrix(candidates)
+    warm_seconds = time.perf_counter() - start
+    np.testing.assert_array_equal(warm_wins, legacy_wins)
+    assert model.gin.stats.rows == 0
+
+    speedup = legacy_seconds / engine_seconds
+    table = ResultTable(title="Comparator ranking throughput (win matrix)")
+    row = f"rank {n_candidates}"
+    table.add(row, "legacy pair path", "value",
+              f"{legacy_seconds:.2f}s ({legacy_rows} encoder forwards)")
+    table.add(row, "encode-once engine", "value",
+              f"{engine_seconds:.2f}s ({engine_rows} encoder forwards)")
+    table.add(row, "speedup", "value", f"{speedup:.1f}x")
+    table.add(row, "warm re-rank", "value",
+              f"{warm_seconds:.2f}s (0 encoder forwards)")
+    return table, speedup
+
+
+def test_rank_throughput(benchmark):
+    table, speedup = benchmark.pedantic(
+        run_rank_throughput, iterations=1, rounds=1
+    )
+    print_and_save(table, "rank_throughput")
+    assert speedup >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--candidates", type=int, default=N_CANDIDATES)
+    parser.add_argument(
+        "--no-save", action="store_true",
+        help="skip writing benchmarks/results/ (smoke runs)",
+    )
+    cli_args = parser.parse_args()
+    result_table, measured_speedup = run_rank_throughput(cli_args.candidates)
+    if cli_args.no_save:
+        print("\n" + result_table.render())
+    else:
+        print_and_save(result_table, "rank_throughput")
+    print(f"speedup {measured_speedup:.1f}x")
+    if cli_args.candidates >= N_CANDIDATES:
+        assert measured_speedup >= MIN_SPEEDUP

@@ -388,6 +388,24 @@ def getitem(a, index) -> Tensor:
     return make_op(out, (a,), backward)
 
 
+def broadcast_to(a, shape: Sequence[int]) -> Tensor:
+    """Broadcast ``a`` to ``shape`` following numpy rules.
+
+    The O(1)-copy replacement for ``concat([row] * batch, axis=0)`` style
+    row duplication: forward values are bitwise-identical to the concat
+    formulation, and the gradient is the sum over the broadcast axes.
+    """
+    a = as_tensor(a)
+    # Copy: np.broadcast_to returns a read-only view and every Tensor is
+    # expected to own writable storage.
+    out = np.broadcast_to(a.data, tuple(shape)).copy()
+
+    def backward(grad):
+        return (unbroadcast(grad, a.shape),)
+
+    return make_op(out, (a,), backward)
+
+
 def concat(tensors: Sequence, axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
     out = np.concatenate([t.data for t in tensors], axis=axis)

@@ -127,6 +127,55 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autocts(args: argparse.Namespace) -> int:
+    from .experiments import SCALES, target_task
+    from .runtime import configure_default_evaluator
+    from .search import AutoCTSPlusConfig, AutoCTSPlusSearch, EvolutionConfig
+    from .space import JointSearchSpace
+    from .tasks import ProxyConfig
+
+    scale = SCALES[args.scale]
+    evaluator = configure_default_evaluator(
+        workers=args.workers, cache_enabled=not args.no_eval_cache
+    )
+    setting = scale.setting(args.setting)
+    task = target_task(scale, args.dataset, setting, seed=args.seed)
+    space = JointSearchSpace(hyper_space=scale.hyper_space)
+    config = AutoCTSPlusConfig(
+        n_measured_samples=args.samples,
+        ahc_epochs=args.ahc_epochs,
+        ahc_embed_dim=args.ahc_embed_dim,
+        ahc_gin_layers=args.ahc_gin_layers,
+        ahc_hidden_dim=args.ahc_hidden_dim,
+        evolution=EvolutionConfig(
+            initial_samples=scale.initial_samples,
+            population_size=scale.population_size,
+            generations=scale.generations,
+            offspring_per_generation=scale.population_size,
+            top_k=scale.top_k,
+        ),
+        final_train_epochs=scale.final_train_epochs,
+        batch_size=scale.batch_size,
+        seed=args.seed,
+        proxy=ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size),
+    )
+    print(
+        f"AutoCTS+ on {task.name} "
+        f"(AHC: embed {config.ahc_embed_dim}, {config.ahc_gin_layers} GIN "
+        f"layers, hidden {config.ahc_hidden_dim})..."
+    )
+    search = AutoCTSPlusSearch(space, config, evaluator=evaluator)
+    result = search.search(task)
+    print(f"measured {len(result.measured)} arch-hypers with the proxy")
+    print(f"AHC loss {result.ahc_losses[0]:.3f} -> {result.ahc_losses[-1]:.3f}")
+    print(f"searched: {result.best.hyper}")
+    print(f"          {result.best.arch}")
+    scores = result.best_scores
+    print(f"test MAE={scores.mae:.4f} RMSE={scores.rmse:.4f} MAPE={scores.mape:.2%}")
+    print(evaluator.stats.report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -206,6 +255,51 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_DIVERGENCE_POLICY or sentinel)",
     )
     search.set_defaults(func=_cmd_search)
+
+    autocts = sub.add_parser(
+        "autocts", help="fully-supervised AutoCTS+ search (per-task AHC)"
+    )
+    autocts.add_argument("dataset")
+    autocts.add_argument("--setting", default="P-12/Q-12")
+    autocts.add_argument("--scale", default="tiny", choices=("tiny", "smoke"))
+    autocts.add_argument("--seed", type=int, default=0)
+    autocts.add_argument(
+        "--samples",
+        type=int,
+        default=8,
+        help="arch-hypers measured with the proxy to train the AHC",
+    )
+    autocts.add_argument("--ahc-epochs", type=int, default=40)
+    autocts.add_argument(
+        "--ahc-embed-dim",
+        type=int,
+        default=32,
+        help="GIN embedding width of the per-task comparator",
+    )
+    autocts.add_argument(
+        "--ahc-gin-layers",
+        type=int,
+        default=3,
+        help="GIN message-passing layers of the per-task comparator",
+    )
+    autocts.add_argument(
+        "--ahc-hidden-dim",
+        type=int,
+        default=32,
+        help="classifier hidden width of the per-task comparator",
+    )
+    autocts.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="proxy-evaluation worker processes (default: $REPRO_WORKERS or 1)",
+    )
+    autocts.add_argument(
+        "--no-eval-cache",
+        action="store_true",
+        help="disable the on-disk proxy-evaluation score cache",
+    )
+    autocts.set_defaults(func=_cmd_autocts)
 
     return parser
 

@@ -2,7 +2,7 @@
 
 from .ahc import AHC, Encodings, pairwise_win_matrix
 from .curriculum import curriculum_schedule
-from .gin import GINEncoder, GINLayer
+from .gin import EncoderStats, GINEncoder, GINLayer
 from .pairing import (
     ComparisonPair,
     ScoredArchHyper,
@@ -16,6 +16,7 @@ from .pairing import (
     pair_index_arrays,
     pair_labels,
 )
+from .scoring import RankingEngine, RankingStats, sanitize_win_matrix
 from .pretrain import (
     PretrainConfig,
     PretrainHistory,
@@ -31,8 +32,12 @@ __all__ = [
     "Encodings",
     "pairwise_win_matrix",
     "curriculum_schedule",
+    "EncoderStats",
     "GINEncoder",
     "GINLayer",
+    "RankingEngine",
+    "RankingStats",
+    "sanitize_win_matrix",
     "ComparisonPair",
     "ScoredArchHyper",
     "all_ordered_pairs",

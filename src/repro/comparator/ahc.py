@@ -46,16 +46,34 @@ class AHC(Module):
         self.pair_fc = Linear(2 * embed_dim, hidden_dim, rng=rng)
         self.classifier = MLP([hidden_dim, hidden_dim, 1], rng=rng)
 
+    # ------------------------------------------------------------------
+    # Embed / score stages
+    # ------------------------------------------------------------------
+    def embed(self, encodings: Encodings) -> Tensor:
+        """Stage 1: GIN embeddings ``l_a`` of a candidate batch, (B, D)."""
+        return self.gin(*encodings)
+
+    def score_pairs(self, emb_a: Tensor, emb_b: Tensor) -> Tensor:
+        """Stage 2: head-only pairwise logits from precomputed embeddings.
+
+        Runs no encoder forward — this is the hot path of the encode-once
+        :class:`~repro.comparator.scoring.RankingEngine`.
+        """
+        features = self.pair_fc(concat([emb_a, emb_b], axis=-1)).relu()
+        return self.classifier(features).reshape(-1)
+
     def pair_features(self, enc_a: Encodings, enc_b: Encodings) -> Tensor:
         """Concatenated GIN embeddings of the two candidates (Eq. 16)."""
-        l_a = self.gin(*enc_a)
-        l_b = self.gin(*enc_b)
-        return concat([l_a, l_b], axis=-1)
+        return concat([self.embed(enc_a), self.embed(enc_b)], axis=-1)
 
     def forward(self, enc_a: Encodings, enc_b: Encodings) -> Tensor:
-        """Logits (B,): positive means the first candidate is judged better."""
-        features = self.pair_fc(self.pair_features(enc_a, enc_b)).relu()
-        return self.classifier(features).reshape(-1)
+        """Logits (B,): positive means the first candidate is judged better.
+
+        Thin composition of :meth:`embed` and :meth:`score_pairs` — the op
+        sequence (and therefore checkpointed weights and the pretrain
+        gradient path) is unchanged from the monolithic formulation.
+        """
+        return self.score_pairs(self.embed(enc_a), self.embed(enc_b))
 
     # ------------------------------------------------------------------
     # Convenience inference API
@@ -66,11 +84,15 @@ class AHC(Module):
         space: HyperSpace | None = None,
         batch_size: int = 256,
     ) -> np.ndarray:
-        """Full pairwise win matrix W with ``W[i, j] = 1`` iff i beats j."""
-        encodings = encode_batch(arch_hypers, space)
-        return pairwise_win_matrix(
-            lambda a, b: self.forward(a, b), encodings, len(arch_hypers), batch_size
-        )
+        """Full pairwise win matrix W with ``W[i, j] = 1`` iff i beats j.
+
+        Delegates to the encode-once :class:`RankingEngine`: N encoder
+        forwards instead of 2·N·(N−1), bitwise-identical win matrices.
+        """
+        from .scoring import RankingEngine
+
+        engine = RankingEngine(self, space=space, batch_size=batch_size)
+        return engine.win_matrix(arch_hypers, sanitize=False)
 
 
 def _index_encodings(encodings: Encodings, index: np.ndarray) -> Encodings:
@@ -83,7 +105,14 @@ def pairwise_win_matrix(
     count: int,
     batch_size: int = 256,
 ) -> np.ndarray:
-    """Evaluate all ordered pairs with ``logit_fn`` into a win matrix."""
+    """Evaluate all ordered pairs with ``logit_fn`` into a win matrix.
+
+    This is the reference O(N²)-encoder path: every ordered pair re-embeds
+    both sides.  Production ranking goes through the encode-once
+    :class:`~repro.comparator.scoring.RankingEngine`; this function is kept
+    as the ground truth the engine's bitwise-equivalence suite compares
+    against (and for comparators that do not expose split stages).
+    """
     rows, cols = np.meshgrid(np.arange(count), np.arange(count), indexing="ij")
     pairs_a, pairs_b = rows.reshape(-1), cols.reshape(-1)
     keep = pairs_a != pairs_b

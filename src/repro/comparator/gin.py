@@ -13,6 +13,8 @@ comparator.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..autodiff import Tensor, concat, embedding, matmul
@@ -34,6 +36,22 @@ class GINLayer(Module):
     def forward(self, h: Tensor, adjacency: Tensor) -> Tensor:
         aggregated = matmul(adjacency, h)
         return self.mlp(h * (self.eps + 1.0) + aggregated)
+
+
+@dataclass
+class EncoderStats:
+    """Forward-pass accounting of a :class:`GINEncoder`.
+
+    ``rows`` counts individual graphs encoded (the unit the encode-once
+    ranking path minimizes); ``calls`` counts batched forward invocations.
+    """
+
+    calls: int = 0
+    rows: int = 0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.rows = 0
 
 
 class GINEncoder(Module):
@@ -59,6 +77,16 @@ class GINEncoder(Module):
         # W_c of Eq. 7: hyperparameter-vector projection.
         self.hyper_proj = Linear(hyper_dim, embed_dim, rng=rng)
         self.layers = ModuleList(GINLayer(embed_dim, rng) for _ in range(num_layers))
+
+    @property
+    def stats(self) -> EncoderStats:
+        """Forward accounting; lazy so encoders unpickled from artifact
+        caches that predate the counter keep working."""
+        stats = self.__dict__.get("_stats")
+        if stats is None:
+            stats = EncoderStats()
+            self.__dict__["_stats"] = stats
+        return stats
 
     def node_features(
         self, op_indices: np.ndarray, hyper: np.ndarray
@@ -87,6 +115,8 @@ class GINEncoder(Module):
 
         Returns the Hyper-node latents, shape ``(B, embed_dim)``.
         """
+        self.stats.calls += 1
+        self.stats.rows += int(op_indices.shape[0])
         h = self.node_features(op_indices, hyper)
         adjacency_t = Tensor(adjacency)
         node_mask = Tensor(mask[..., None].astype(np.float32))

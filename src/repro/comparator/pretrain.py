@@ -165,10 +165,6 @@ def collect_task_samples(
 # ---------------------------------------------------------------------------
 
 
-def _index_encodings(encodings: Encodings, index: np.ndarray) -> Encodings:
-    return tuple(array[index] for array in encodings)  # type: ignore[return-value]
-
-
 def _task_pair_loss(
     model: TAHC,
     sample_set: TaskSampleSet,
@@ -176,13 +172,21 @@ def _task_pair_loss(
     index_b: np.ndarray,
     labels: np.ndarray,
 ) -> tuple[Tensor, float]:
-    """BCE loss and accuracy over one task's pair batch (as index arrays)."""
+    """BCE loss and accuracy over one task's pair batch (as index arrays).
+
+    Encode-once: the candidate pool is embedded in a single GIN forward and
+    both pair sides gather rows from that shared embedding batch (the
+    gather is differentiable, so gradients still reach the encoder from
+    every pair a candidate appears in).  A pool of n candidates costs n
+    encoder forwards per step instead of 2·pairs.
+    """
     encodings = sample_set.ensure_encodings()
+    pool_size = int(max(index_a.max(), index_b.max())) + 1
+    pool = tuple(array[:pool_size] for array in encodings)
+    embeddings = model.embed(pool)
     task_embedding = model.encode_task(sample_set.preliminary)
-    logits = model(
-        task_embedding,
-        _index_encodings(encodings, index_a),
-        _index_encodings(encodings, index_b),
+    logits = model.score_pairs(
+        task_embedding, embeddings[index_a], embeddings[index_b]
     )
     loss = bce_with_logits(logits, labels)
     predictions = (sigmoid(logits).numpy() >= 0.5).astype(np.float32)

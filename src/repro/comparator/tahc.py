@@ -12,14 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, no_grad
+from ..autodiff import Tensor, broadcast_to, concat, no_grad
 from ..nn.linear import MLP, Linear
 from ..nn.module import Module
 from ..space.archhyper import ArchHyper
-from ..space.encoding import encode_batch
 from ..space.hyperparams import HyperSpace
 from ..utils.seeding import derive_rng
-from .ahc import Encodings, pairwise_win_matrix
+from .ahc import Encodings
 from .gin import GINEncoder
 
 
@@ -66,6 +65,29 @@ class TAHC(Module):
         """Refine a preliminary task embedding (num_windows, S, F') to E'."""
         return self.task_encoder(preliminary)
 
+    # ------------------------------------------------------------------
+    # Embed / score stages
+    # ------------------------------------------------------------------
+    def embed(self, encodings: Encodings) -> Tensor:
+        """Stage 1: GIN embeddings ``l_a`` of a candidate batch, (B, D)."""
+        return self.gin(*encodings)
+
+    def score_pairs(
+        self, task_embedding: Tensor, emb_a: Tensor, emb_b: Tensor
+    ) -> Tensor:
+        """Stage 2: head-only pairwise logits from precomputed embeddings.
+
+        ``task_embedding`` is E' from :meth:`encode_task` — a single vector,
+        broadcast over the pair batch.  Runs no encoder or Set-Transformer
+        forward, so the encode-once
+        :class:`~repro.comparator.scoring.RankingEngine` can batch it freely.
+        """
+        pair = self.pair_fc(concat([emb_a, emb_b], axis=-1)).relu()  # L'_a
+        task = self.task_fc(task_embedding.reshape(1, -1)).relu()  # Ẽ'
+        task_rows = broadcast_to(task, (pair.shape[0], task.shape[1]))
+        features = concat([pair, task_rows], axis=-1)  # O (Eq. 19)
+        return self.classifier(features).reshape(-1)
+
     def forward(
         self,
         task_embedding: Tensor,
@@ -74,27 +96,22 @@ class TAHC(Module):
     ) -> Tensor:
         """Logits (B,): positive means candidate ``a`` is judged better for the task.
 
-        ``task_embedding`` is E' from :meth:`encode_task` — a single vector,
-        broadcast over the pair batch.
+        Thin composition of :meth:`embed` and :meth:`score_pairs` — the op
+        sequence (and therefore checkpointed weights and the pretrain
+        gradient path) is unchanged from the monolithic formulation.
         """
-        l_a = self.gin(*enc_a)
-        l_b = self.gin(*enc_b)
-        pair = self.pair_fc(concat([l_a, l_b], axis=-1)).relu()  # L'_a
-        batch = pair.shape[0]
-        task = self.task_fc(task_embedding.reshape(1, -1)).relu()  # Ẽ'
-        task_rows = concat([task] * batch, axis=0)
-        features = concat([pair, task_rows], axis=-1)  # O (Eq. 19)
-        return self.classifier(features).reshape(-1)
+        return self.score_pairs(task_embedding, self.embed(enc_a), self.embed(enc_b))
 
     # ------------------------------------------------------------------
     # Inference helpers
     # ------------------------------------------------------------------
     def task_embedding_vector(self, preliminary: np.ndarray) -> np.ndarray:
         """E' as a numpy vector (used for visualization, Figure 6)."""
+        was_training = self.training
         self.eval()
         with no_grad():
             vector = self.encode_task(preliminary).numpy().copy()
-        self.train()
+        self.train(was_training)
         return vector
 
     def predict_wins(
@@ -104,16 +121,15 @@ class TAHC(Module):
         space: HyperSpace | None = None,
         batch_size: int = 256,
     ) -> np.ndarray:
-        """Pairwise win matrix of ``arch_hypers`` under the given task."""
-        self.eval()
-        encodings = encode_batch(arch_hypers, space)
-        with no_grad():
-            task_embedding = self.encode_task(preliminary)
-            wins = pairwise_win_matrix(
-                lambda a, b: self.forward(task_embedding, a, b),
-                encodings,
-                len(arch_hypers),
-                batch_size,
-            )
-        self.train()
-        return wins
+        """Pairwise win matrix of ``arch_hypers`` under the given task.
+
+        Delegates to the encode-once :class:`RankingEngine`: the task
+        embedding E' is computed once and each candidate is embedded once
+        (instead of once per ordered pair), with bitwise-identical wins.
+        """
+        from .scoring import RankingEngine
+
+        engine = RankingEngine(
+            self, preliminary=preliminary, space=space, batch_size=batch_size
+        )
+        return engine.win_matrix(arch_hypers, sanitize=False)

@@ -218,10 +218,11 @@ class TS2Vec:
     # ------------------------------------------------------------------
     def encode(self, series: np.ndarray) -> np.ndarray:
         """Embed ``(num, S, F)`` series to ``(num, S, F')`` representations."""
+        was_training = self.encoder.training
         self.encoder.eval()
         with no_grad():
             out = self.encoder(Tensor(series.astype(np.float32))).numpy()
-        self.encoder.train()
+        self.encoder.train(was_training)
         return out
 
     def encode_windows(self, windows: np.ndarray) -> np.ndarray:

@@ -1,7 +1,13 @@
 """Search strategies: evolutionary + Round-Robin + zero-shot (Algorithm 2)."""
 
+from ..comparator.scoring import RankingEngine, RankingStats, sanitize_win_matrix
 from .autocts_plus import AutoCTSPlusConfig, AutoCTSPlusResult, AutoCTSPlusSearch
-from .baselines import SearchTrace, grid_search_hyper, random_search
+from .baselines import (
+    SearchTrace,
+    comparator_rank_search,
+    grid_search_hyper,
+    random_search,
+)
 from .evolutionary import (
     CompareFn,
     EvolutionConfig,
@@ -16,9 +22,13 @@ __all__ = [
     "AutoCTSPlusResult",
     "AutoCTSPlusSearch",
     "SearchTrace",
+    "comparator_rank_search",
     "grid_search_hyper",
     "random_search",
     "CompareFn",
+    "RankingEngine",
+    "RankingStats",
+    "sanitize_win_matrix",
     "EvolutionConfig",
     "EvolutionResult",
     "EvolutionarySearch",

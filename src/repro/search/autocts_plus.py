@@ -24,6 +24,7 @@ import numpy as np
 
 from ..comparator.ahc import AHC
 from ..comparator.pairing import dynamic_pairs, has_comparable_pair, pair_index_arrays
+from ..comparator.scoring import RankingEngine
 from ..core.health import DivergenceError
 from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
@@ -52,6 +53,10 @@ class AutoCTSPlusConfig:
     ahc_epochs: int = 40
     pairs_per_epoch: int = 32
     ahc_lr: float = 1e-3
+    # Capacity of the per-task comparator (CLI: --ahc-embed-dim etc.).
+    ahc_embed_dim: int = 32
+    ahc_gin_layers: int = 3
+    ahc_hidden_dim: int = 32
     evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
     final_train_epochs: int = 10
     batch_size: int = 64
@@ -130,7 +135,12 @@ class AutoCTSPlusSearch:
         arch_hypers = [ah for ah, _ in measured]
         scores = np.array([score for _, score in measured])
         encodings = encode_batch(arch_hypers, self.space.hyper_space)
-        ahc = AHC(embed_dim=32, gin_layers=3, hidden_dim=32, seed=config.seed)
+        ahc = AHC(
+            embed_dim=config.ahc_embed_dim,
+            gin_layers=config.ahc_gin_layers,
+            hidden_dim=config.ahc_hidden_dim,
+            seed=config.seed,
+        )
         optimizer = Adam(ahc.parameters(), lr=config.ahc_lr)
         rng = derive_rng(config.seed, "autocts+-ahc")
         losses: list[float] = []
@@ -157,10 +167,10 @@ class AutoCTSPlusSearch:
         for epoch in range(start_epoch, config.ahc_epochs):
             pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
             index_a, index_b, labels = pair_index_arrays(pairs)
-            logits = ahc(
-                tuple(a[index_a] for a in encodings),
-                tuple(a[index_b] for a in encodings),
-            )
+            # Encode-once: one GIN forward over the measured pool, pair
+            # sides gathered from the shared embedding batch.
+            embeddings = ahc.embed(encodings)
+            logits = ahc.score_pairs(embeddings[index_a], embeddings[index_b])
             loss = bce_with_logits(logits, labels)
             optimizer.zero_grad()
             loss.backward()
@@ -179,13 +189,16 @@ class AutoCTSPlusSearch:
         return ahc, losses
 
     def rank(self, ahc: AHC) -> list[ArchHyper]:
-        """Stage 3: comparator-guided evolutionary search."""
+        """Stage 3: comparator-guided evolutionary search.
 
-        def compare(candidates: list[ArchHyper]) -> np.ndarray:
-            return ahc.predict_wins(candidates, self.space.hyper_space)
-
+        The trained AHC is wrapped in an encode-once :class:`RankingEngine`
+        so survivors keep their embeddings across generations (the AHC's
+        weights are frozen for the whole stage, which is what makes the
+        cache sound).
+        """
+        engine = RankingEngine(ahc, space=self.space.hyper_space)
         search = EvolutionarySearch(
-            self.space, compare, self.config.evolution, seed=self.config.seed
+            self.space, engine, self.config.evolution, seed=self.config.seed
         )
         return search.run(
             checkpoint=self._checkpoint("evolution", "evolution")

@@ -1,10 +1,14 @@
-"""Non-comparator search baselines: random search and hyperparameter grid search.
+"""Search baselines: random search, hyperparameter grid search, one-shot ranking.
 
 * :func:`random_search` — train ``n`` random candidates with the proxy, keep
   the best; the budget-matched sanity baseline for the EA ablation.
 * :func:`grid_search_hyper` — the paper's treatment of manual baselines under
   new forecasting settings: grid-search the hidden dimension H and output
   dimension I (2 x 2 in the paper) around a fixed architecture.
+* :func:`comparator_rank_search` — one-shot comparator ranking without
+  evolution (the two-stage-pruning shape of surrogate-ranking NAS): sample a
+  pool, rank it with the encode-once :class:`RankingEngine`, Round-Robin
+  select the top-K.  The EA-vs-pure-ranking ablation baseline.
 """
 
 from __future__ import annotations
@@ -14,11 +18,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..comparator.scoring import RankingEngine
 from ..core.health import DivergenceError
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
 from ..tasks.proxy import ProxyConfig, SENTINEL_SCORE, is_sentinel_score
 from ..tasks.task import Task
+from .round_robin import round_robin_top_k
 
 if TYPE_CHECKING:
     from ..runtime import ProxyEvaluator
@@ -73,6 +79,27 @@ def random_search(
         candidates, task, proxy
     )
     return SearchTrace(candidates=candidates, scores=scores)
+
+
+def comparator_rank_search(
+    engine: RankingEngine,
+    space: JointSearchSpace,
+    n_candidates: int,
+    top_k: int = 3,
+    seed: int = 0,
+) -> list[ArchHyper]:
+    """Rank one random pool with the comparator, no evolution (top-K out).
+
+    ``engine`` wraps a trained AHC/T-AHC; ranking the pool costs
+    ``n_candidates`` encoder forwards (fewer when the engine has already
+    embedded some of them).
+    """
+    if n_candidates < 1:
+        raise ValueError("n_candidates must be >= 1")
+    rng = np.random.default_rng(seed)
+    candidates = space.sample_batch(n_candidates, rng)
+    wins = engine(candidates)
+    return [candidates[i] for i in round_robin_top_k(wins, min(top_k, n_candidates))]
 
 
 def grid_search_hyper(

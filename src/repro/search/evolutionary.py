@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..comparator.scoring import sanitize_win_matrix
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
 from .round_robin import round_robin_top_k
@@ -21,7 +22,10 @@ from .round_robin import round_robin_top_k
 if TYPE_CHECKING:
     from ..runtime import Checkpoint
 
-# A compare function maps a candidate list to an (n, n) win matrix.
+# A compare function maps a candidate list to an (n, n) win matrix.  A
+# RankingEngine satisfies this protocol directly — and is the preferred
+# implementation, since it embeds each unique candidate once and keeps
+# population survivors cached across generations.
 CompareFn = Callable[[list[ArchHyper]], np.ndarray]
 
 
@@ -73,12 +77,10 @@ class EvolutionarySearch:
     def _rank(self, candidates: list[ArchHyper], k: int) -> list[ArchHyper]:
         wins = self.compare(candidates)
         self.comparisons += len(candidates) * (len(candidates) - 1)
-        if not np.isfinite(wins).all():
-            # A non-finite win probability (poisoned comparator weights, an
-            # overflowed logit) must not leak into Round-Robin ranking, where
-            # NaN comparisons would make selection nondeterministic; treat
-            # the entry as a loss for the row candidate.
-            wins = np.where(np.isfinite(wins), wins, 0.0)
+        # The guard is centralized in repro.comparator.scoring (a no-op for
+        # RankingEngine output, which is sanitized at the source; it protects
+        # Round-Robin from NaNs produced by custom CompareFns).
+        wins = sanitize_win_matrix(wins)
         return [candidates[i] for i in round_robin_top_k(wins, k)]
 
     def _offspring(self, population: list[ArchHyper]) -> ArchHyper:

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..comparator.scoring import RankingEngine
 from ..comparator.tahc import TAHC
 from ..core.health import DivergenceError
 from ..core.model import build_forecaster
@@ -102,15 +103,18 @@ class ZeroShotSearch:
         initial: list[ArchHyper] | None = None,
         checkpoint: "Checkpoint | None" = None,
     ) -> tuple[list[ArchHyper], int]:
-        """Phase 2: evolutionary ranking under the task-conditioned T-AHC."""
+        """Phase 2: evolutionary ranking under the task-conditioned T-AHC.
 
-        def compare(candidates: list[ArchHyper]) -> np.ndarray:
-            return self.model.predict_wins(
-                preliminary, candidates, self.space.hyper_space
-            )
-
+        The comparator is wrapped in a :class:`RankingEngine` scoped to this
+        call: the refined task embedding E' is computed once for the whole
+        evolution (not once per generation), and population survivors keep
+        their GIN embeddings cached across generations.
+        """
+        engine = RankingEngine(
+            self.model, preliminary=preliminary, space=self.space.hyper_space
+        )
         search = EvolutionarySearch(
-            self.space, compare, self.config.evolution, seed=self.config.seed
+            self.space, engine, self.config.evolution, seed=self.config.seed
         )
         result = search.run(initial, checkpoint=checkpoint)
         return result.top_candidates, result.comparisons

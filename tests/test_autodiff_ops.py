@@ -143,6 +143,25 @@ class TestLinalgAndShape:
     def test_stack(self):
         check_gradients(lambda a, b: ad.stack([a, b], axis=0), [_rand(2, 3), _rand(2, 3)])
 
+    def test_broadcast_to(self):
+        check_gradients(lambda a: ad.broadcast_to(a, (4, 2, 3)), [_rand(2, 3)])
+
+    def test_broadcast_to_expands_size_one_axes(self):
+        check_gradients(lambda a: ad.broadcast_to(a, (3, 5)), [_rand(3, 1)])
+
+    def test_broadcast_to_matches_tiled_concat(self):
+        """broadcast_to of a row equals concat([row] * B) bitwise — the
+        substitution the T-AHC head relies on."""
+        row = Tensor(_rand(1, 6), requires_grad=True)
+        tiled = ad.concat([row] * 5, axis=0)
+        broadcast = ad.broadcast_to(row, (5, 6))
+        np.testing.assert_array_equal(broadcast.data, tiled.data)
+        broadcast.sum().backward()
+        grad_b = row.grad.copy()
+        row.grad = None
+        tiled.sum().backward()
+        np.testing.assert_array_equal(grad_b, row.grad)
+
     def test_pad(self):
         check_gradients(
             lambda a: ad.pad(a, ((0, 0), (1, 2))), [_rand(2, 3)]

@@ -50,3 +50,34 @@ class TestParser:
         out = capsys.readouterr().out
         assert "searched:" in out
         assert "test MAE=" in out
+
+    def test_autocts_parser_defaults(self):
+        args = build_parser().parse_args(["autocts", "SZ-TAXI"])
+        assert args.ahc_embed_dim == 32
+        assert args.ahc_gin_layers == 3
+        assert args.ahc_hidden_dim == 32
+
+    def test_autocts_parser_custom_capacity(self):
+        args = build_parser().parse_args(
+            [
+                "autocts", "SZ-TAXI", "--ahc-embed-dim", "16",
+                "--ahc-gin-layers", "2", "--ahc-hidden-dim", "24",
+            ]
+        )
+        assert args.ahc_embed_dim == 16
+        assert args.ahc_gin_layers == 2
+        assert args.ahc_hidden_dim == 24
+
+    def test_autocts_command_smoke_scale(self, capsys):
+        code = main(
+            [
+                "autocts", "SZ-TAXI", "--scale", "smoke", "--samples", "6",
+                "--ahc-epochs", "5", "--ahc-embed-dim", "16",
+                "--ahc-gin-layers", "2", "--ahc-hidden-dim", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AHC: embed 16, 2 GIN layers, hidden 16" in out
+        assert "searched:" in out
+        assert "test MAE=" in out
