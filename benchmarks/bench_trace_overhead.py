@@ -1,0 +1,137 @@
+"""Overhead of the disabled telemetry layer — and its bitwise inertness.
+
+The tracing/metrics contract (``docs/observability.md``): with telemetry
+disabled the instrumented hot paths cost one ``None`` check per ``span()``
+and nothing per metric that is not updated; with telemetry enabled every
+score stays bitwise-identical, because timing is observed but never fed
+back into computation.
+
+Benchmarking the pre-instrumentation code is impossible in-tree, so — like
+``bench_anomaly_overhead.py`` — we assert the spirit of the <2% budget: the
+disabled path must not cost more than a small fraction of the *enabled*
+path's full span-emission overhead, with generous noise headroom.  The
+bitwise half of the contract is asserted exactly: traced and untraced
+ranking produce identical win matrices, traced and untraced proxy
+evaluation identical scores.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.comparator.ahc import AHC
+from repro.comparator.scoring import RankingEngine
+from repro.experiments import ResultTable, print_and_save
+from repro.obs import configure_tracing, file_tracer, tracer_scope
+from repro.space import JointSearchSpace
+
+CANDIDATES = 24
+STEPS = 8
+WARMUP = 2
+REPEATS = 5
+
+# Allowance of the disabled path over the enabled path (ratio < 1 expected;
+# the bound only needs to absorb timer noise on a fast workload).
+MAX_DISABLED_OVER_ENABLED = 1.10
+
+
+def _workload():
+    space = JointSearchSpace()
+    candidates = space.sample_batch(CANDIDATES, np.random.default_rng(0))
+    model = AHC(seed=0)
+    return space, model, candidates
+
+
+def _run_steps(space, model, candidates, steps):
+    wins = None
+    for _ in range(steps):
+        # A fresh engine per step keeps the per-step work constant (no
+        # embedding cache carrying over between repeats).
+        engine = RankingEngine(model, space=space.hyper_space)
+        wins = engine.win_matrix(candidates)
+    return wins
+
+
+def time_workload(traced: bool, trace_dir: Path) -> tuple[float, np.ndarray]:
+    space, model, candidates = _workload()
+    tracer = file_tracer(trace_dir / "bench.jsonl") if traced else None
+    best = float("inf")
+    wins = None
+    with tracer_scope(tracer):
+        _run_steps(space, model, candidates, WARMUP)
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            wins = _run_steps(space, model, candidates, STEPS)
+            best = min(best, time.perf_counter() - start)
+    if tracer is not None:
+        tracer.close()
+    return best, wins
+
+
+def _cheap_eval(arch_hyper, task, config):
+    """Deterministic, instant eval derived from the content fingerprint."""
+    from repro.runtime import proxy_fingerprint
+
+    digest = proxy_fingerprint(arch_hyper, task, config)
+    return int(digest[:8], 16) / 0xFFFFFFFF + 0.25
+
+
+def check_bitwise_scores() -> None:
+    """Traced and untraced proxy evaluations must agree bitwise."""
+    from repro.data import CTSData
+    from repro.runtime import ProxyEvaluator
+    from repro.tasks import Task
+
+    rng = np.random.default_rng(0)
+    values = rng.normal(10, 2, size=(4, 200, 1)).astype(np.float32)
+    task = Task(CTSData("bench", values, np.ones((4, 4), dtype=np.float32), "test"), p=6, q=3)
+    candidates = JointSearchSpace().sample_batch(4, np.random.default_rng(1))
+    plain = ProxyEvaluator(workers=1, cache=None, eval_fn=_cheap_eval).evaluate_many(
+        candidates, task
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        configure_tracing(Path(tmp) / "eval.jsonl")
+        try:
+            traced = ProxyEvaluator(
+                workers=1, cache=None, eval_fn=_cheap_eval
+            ).evaluate_many(candidates, task)
+        finally:
+            configure_tracing(None)
+    assert plain == traced, "tracing changed proxy scores"
+
+
+def run_overhead():
+    with tempfile.TemporaryDirectory() as tmp:
+        disabled, wins_off = time_workload(traced=False, trace_dir=Path(tmp))
+        enabled, wins_on = time_workload(traced=True, trace_dir=Path(tmp))
+    np.testing.assert_array_equal(wins_off, wins_on)
+    check_bitwise_scores()
+    ratio = disabled / enabled
+
+    table = ResultTable(title="Telemetry overhead (ranking hot path)")
+    row = f"{STEPS} win matrices over {CANDIDATES} candidates"
+    table.add(row, "tracing off", "value", f"{disabled * 1e3:.1f}ms")
+    table.add(row, "tracing on", "value", f"{enabled * 1e3:.1f}ms")
+    table.add(row, "off/on ratio", "value", f"{ratio:.3f}")
+    return table, disabled, enabled, ratio
+
+
+def test_trace_overhead(benchmark):
+    table, disabled, enabled, ratio = benchmark.pedantic(
+        run_overhead, iterations=1, rounds=1
+    )
+    print_and_save(table, "trace_overhead")
+    assert ratio <= MAX_DISABLED_OVER_ENABLED
+
+
+if __name__ == "__main__":
+    table, disabled, enabled, ratio = run_overhead()
+    print_and_save(table, "trace_overhead")
+    print(
+        f"disabled {disabled * 1e3:.1f}ms, enabled {enabled * 1e3:.1f}ms, "
+        f"ratio {ratio:.3f}"
+    )

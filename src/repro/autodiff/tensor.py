@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..obs.profile import profiling_enabled, record_op
 from .anomaly import anomaly_enabled, op_name_of, raise_non_finite
 
 DEFAULT_DTYPE = np.float32
@@ -158,6 +159,10 @@ class Tensor:
                     node.grad = node.grad + node_grad
             if node._backward is not None:
                 parent_grads = node._backward(node_grad)
+                if profiling_enabled():
+                    record_op(
+                        node._op or op_name_of(node._backward), "backward"
+                    )
                 if parent_grads is None:
                     continue
                 check = anomaly_enabled()
@@ -225,10 +230,13 @@ def make_op(
     check = anomaly_enabled()
     if check and not np.isfinite(out_data).all():
         raise_non_finite(op_name_of(backward), "forward", out_data, tuple(parents))
+    profiled = profiling_enabled()
+    if profiled:
+        record_op(op_name_of(backward), "forward")
     track = _grad_enabled() and any(_needs_grad(p) for p in parents)
     if not track:
         return Tensor(out_data)
     out = Tensor(out_data, _parents=tuple(parents), _backward=backward)
-    if check:
+    if check or profiled:
         out._op = op_name_of(backward)
     return out

@@ -7,7 +7,10 @@ Subcommands:
 * ``train`` — train one sampled/fixed arch-hyper on a dataset and report
   test metrics,
 * ``search`` — run the zero-shot AutoCTS++ search on a target dataset
-  (pre-training the T-AHC first if it is not cached).
+  (pre-training the T-AHC first if it is not cached),
+* ``autocts`` — run the fully-supervised AutoCTS+ search (per-task AHC),
+* ``trace`` — render a ``--trace`` JSONL file as a per-stage rollup, span
+  tree, and per-candidate timeline.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -15,9 +18,43 @@ Run ``python -m repro.cli <subcommand> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+
+def _configure_observability(args: argparse.Namespace) -> str | None:
+    """Install the run's tracer/heartbeat/profiling from flags and env.
+
+    ``--trace PATH`` wins over ``$REPRO_TRACE``; heartbeats are on unless
+    ``--quiet``; ``--profile`` seeds the process default (and, via the env,
+    pool workers).  Returns the active trace path, if any.
+    """
+    from .obs import TRACE_ENV, configure_heartbeat, configure_tracing
+
+    trace_path = getattr(args, "trace", None) or os.environ.get(TRACE_ENV) or None
+    configure_tracing(trace_path)
+    configure_heartbeat(enabled=not getattr(args, "quiet", False))
+    if getattr(args, "profile", False):
+        from .obs import set_profiling_default
+
+        set_profiling_default(True)
+    return trace_path
+
+
+def _finish_observability(args: argparse.Namespace, trace_path: str | None) -> None:
+    """Close the trace file and print the consolidated metrics snapshot."""
+    from .obs import configure_tracing, render_metrics
+
+    configure_tracing(None)  # closes the active file tracer, if any
+    if not getattr(args, "quiet", False):
+        rendered = render_metrics()
+        if rendered:
+            print("== metrics ==")
+            print(rendered)
+    if trace_path:
+        print(f"trace written to {trace_path} (render: repro trace report {trace_path})")
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -83,6 +120,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.anomaly_mode:
         # Also exported via $REPRO_ANOMALY so pool workers inherit the mode.
         set_anomaly_default(True)
+    trace_path = _configure_observability(args)
     scale = SCALES[args.scale]
     evaluator = configure_default_evaluator(
         workers=args.workers,
@@ -124,6 +162,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     scores = result.best_scores
     print(f"test MAE={scores.mae:.4f} RMSE={scores.rmse:.4f} MAPE={scores.mape:.2%}")
     print(evaluator.stats.report())
+    _finish_observability(args, trace_path)
     return 0
 
 
@@ -134,6 +173,7 @@ def _cmd_autocts(args: argparse.Namespace) -> int:
     from .space import JointSearchSpace
     from .tasks import ProxyConfig
 
+    trace_path = _configure_observability(args)
     scale = SCALES[args.scale]
     evaluator = configure_default_evaluator(
         workers=args.workers, cache_enabled=not args.no_eval_cache
@@ -173,7 +213,38 @@ def _cmd_autocts(args: argparse.Namespace) -> int:
     scores = result.best_scores
     print(f"test MAE={scores.mae:.4f} RMSE={scores.rmse:.4f} MAPE={scores.mape:.2%}")
     print(evaluator.stats.report())
+    _finish_observability(args, trace_path)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import render_report
+
+    print(render_report(args.path, max_depth=args.max_depth))
+    return 0
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """The shared telemetry flags of the long-running subcommands."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace of the run to PATH "
+        "(default: $REPRO_TRACE or off); render with 'repro trace report'",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress heartbeat progress lines and the final metrics snapshot",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable profiling hooks: per-module forward timing and autodiff "
+        "op counts in the metrics snapshot (slower; timing never changes "
+        "scores)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -254,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'raise' aborts with a DivergenceError "
         "(default: $REPRO_DIVERGENCE_POLICY or sentinel)",
     )
+    _add_observability_args(search)
     search.set_defaults(func=_cmd_search)
 
     autocts = sub.add_parser(
@@ -299,7 +371,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk proxy-evaluation score cache",
     )
+    _add_observability_args(autocts)
     autocts.set_defaults(func=_cmd_autocts)
+
+    trace = sub.add_parser("trace", help="inspect a --trace JSONL file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    report = trace_sub.add_parser(
+        "report", help="per-stage rollup, span tree, and candidate timeline"
+    )
+    report.add_argument("path", help="trace file written by --trace/$REPRO_TRACE")
+    report.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="truncate the span tree below this depth",
+    )
+    report.set_defaults(func=_cmd_trace)
 
     return parser
 

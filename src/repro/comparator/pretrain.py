@@ -19,6 +19,8 @@ import numpy as np
 
 from ..autodiff import Tensor, sigmoid, no_grad
 from ..nn.loss import bce_with_logits
+from ..obs.heartbeat import heartbeat
+from ..obs.trace import span
 from ..optim import Adam, clip_grad_norm
 from ..space.archhyper import ArchHyper
 from ..space.encoding import encode_batch
@@ -136,27 +138,31 @@ def collect_task_samples(
     evaluator = evaluator or get_default_evaluator()
     progress = EvalProgress(checkpoint) if checkpoint is not None else None
     jobs = [(ah, task) for task, pool in zip(tasks, pools) for ah in pool]
-    flat_scores = evaluator.evaluate_pairs(jobs, config.proxy, progress=progress)
+    with span("collect", tasks=len(tasks), candidates=len(jobs)):
+        flat_scores = evaluator.evaluate_pairs(
+            jobs, config.proxy, progress=progress
+        )
 
-    sample_sets: list[TaskSampleSet] = []
-    cursor = 0
-    for task, candidates in zip(tasks, pools):
-        scores = np.array(
-            flat_scores[cursor : cursor + len(candidates)], dtype=np.float64
-        )
-        cursor += len(candidates)
-        preliminary = preliminary_task_embedding(
-            embedder, task.embedding_windows()
-        )
-        sample_sets.append(
-            TaskSampleSet(
-                task_name=task.name,
-                preliminary=preliminary,
-                arch_hypers=candidates,
-                scores=scores,
-                shared_count=len(shared),
+        sample_sets: list[TaskSampleSet] = []
+        cursor = 0
+        for task, candidates in zip(tasks, pools):
+            scores = np.array(
+                flat_scores[cursor : cursor + len(candidates)], dtype=np.float64
             )
-        )
+            cursor += len(candidates)
+            with span("task-embedding", task=task.name):
+                preliminary = preliminary_task_embedding(
+                    embedder, task.embedding_windows()
+                )
+            sample_sets.append(
+                TaskSampleSet(
+                    task_name=task.name,
+                    preliminary=preliminary,
+                    arch_hypers=candidates,
+                    scores=scores,
+                    shared_count=len(shared),
+                )
+            )
     return sample_sets
 
 
@@ -266,53 +272,77 @@ def pretrain_tahc(
         )
 
     stopped = False
-    for epoch, delta in enumerate(schedule):
-        if epoch < start_epoch:
-            continue  # already trained before the interruption
-        epoch_losses, epoch_accs = [], []
-        order = rng.permutation(len(sample_sets))
-        for task_index in order:
-            sample_set = sample_sets[task_index]
-            pool_size = min(
-                sample_set.shared_count + delta, len(sample_set.arch_hypers)
+    with span(
+        "pretrain", epochs=len(schedule), tasks=len(sample_sets)
+    ) as pretrain_span:
+        for epoch, delta in enumerate(schedule):
+            if epoch < start_epoch:
+                continue  # already trained before the interruption
+            with span("pretrain-epoch", index=epoch, delta=delta) as epoch_span:
+                epoch_losses, epoch_accs = [], []
+                order = rng.permutation(len(sample_sets))
+                for task_index in order:
+                    sample_set = sample_sets[task_index]
+                    pool_size = min(
+                        sample_set.shared_count + delta, len(sample_set.arch_hypers)
+                    )
+                    if pool_size < 2:
+                        continue
+                    pool_scores = sample_set.scores[:pool_size]
+                    if not has_comparable_pair(pool_scores):
+                        # Every candidate in this curriculum slice diverged: no
+                        # pair carries ordering information, so skip the task
+                        # this epoch (the check draws no RNG, keeping healthy
+                        # runs bitwise-same).
+                        continue
+                    pairs = dynamic_pairs(pool_scores, rng, config.pairs_per_task)
+                    index_a, index_b, labels = pair_index_arrays(pairs)
+                    loss, accuracy = _task_pair_loss(
+                        model, sample_set, index_a, index_b, labels
+                    )
+                    optimizer.zero_grad()
+                    loss.backward()
+                    if config.grad_clip:
+                        clip_grad_norm(optimizer.parameters, config.grad_clip)
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                    epoch_accs.append(accuracy)
+                # With a shared-free curriculum (the w/o-shared ablation) early
+                # epochs can have no trainable pool yet; record NaN-free
+                # placeholders.
+                history.losses.append(
+                    float(np.mean(epoch_losses)) if epoch_losses else float("inf")
+                )
+                history.accuracies.append(
+                    float(np.mean(epoch_accs)) if epoch_accs else 0.0
+                )
+                history.deltas.append(delta)
+                epoch_span.set(
+                    loss=history.losses[-1], accuracy=history.accuracies[-1]
+                )
+            # Early stop (paper: patience 5) once the full curriculum is in.
+            if delta >= max_random:
+                if history.losses[-1] < best_loss - 1e-4:
+                    best_loss = history.losses[-1]
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= config.patience:
+                        stopped = True
+            save_progress(epoch + 1, done=stopped or epoch + 1 == len(schedule))
+            heartbeat(
+                "pretrain",
+                lambda: (
+                    f"pretrain epoch {epoch + 1}/{len(schedule)}; "
+                    f"loss {history.losses[-1]:.4f}; "
+                    f"accuracy {history.accuracies[-1]:.2%}"
+                ),
             )
-            if pool_size < 2:
-                continue
-            pool_scores = sample_set.scores[:pool_size]
-            if not has_comparable_pair(pool_scores):
-                # Every candidate in this curriculum slice diverged: no pair
-                # carries ordering information, so skip the task this epoch
-                # (the check draws no RNG, keeping healthy runs bitwise-same).
-                continue
-            pairs = dynamic_pairs(pool_scores, rng, config.pairs_per_task)
-            index_a, index_b, labels = pair_index_arrays(pairs)
-            loss, accuracy = _task_pair_loss(
-                model, sample_set, index_a, index_b, labels
-            )
-            optimizer.zero_grad()
-            loss.backward()
-            if config.grad_clip:
-                clip_grad_norm(optimizer.parameters, config.grad_clip)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-            epoch_accs.append(accuracy)
-        # With a shared-free curriculum (the w/o-shared ablation) early epochs
-        # can have no trainable pool yet; record NaN-free placeholders.
-        history.losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("inf"))
-        history.accuracies.append(float(np.mean(epoch_accs)) if epoch_accs else 0.0)
-        history.deltas.append(delta)
-        # Early stop (paper: patience 5) only once the full curriculum is in.
-        if delta >= max_random:
-            if history.losses[-1] < best_loss - 1e-4:
-                best_loss = history.losses[-1]
-                stale = 0
-            else:
-                stale += 1
-                if stale >= config.patience:
-                    stopped = True
-        save_progress(epoch + 1, done=stopped or epoch + 1 == len(schedule))
-        if stopped:
-            break
+            if stopped:
+                break
+        pretrain_span.set(
+            epochs_run=len(history.losses), stopped_early=stopped
+        )
     return history
 
 

@@ -32,11 +32,11 @@ crossed-over offspring need no special handling because they hash to new
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..autodiff import Tensor, no_grad, sigmoid
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import span
 from ..space.archhyper import ArchHyper
 from ..space.encoding import encode_batch
 from ..space.hyperparams import HyperSpace
@@ -59,14 +59,22 @@ def sanitize_win_matrix(wins: np.ndarray) -> np.ndarray:
     return np.where(np.isfinite(wins), wins, 0.0)
 
 
-@dataclass
 class RankingStats:
-    """Cache and batching accounting of one :class:`RankingEngine`."""
+    """Cache and batching accounting of one :class:`RankingEngine`.
 
-    embed_hits: int = 0  # candidates answered from the embedding cache
-    embed_misses: int = 0  # candidates that cost an encoder forward
-    pair_scores: int = 0  # ordered pairs scored by head-only forwards
-    win_matrices: int = 0  # compare calls served
+    Counts live in a :class:`~repro.obs.metrics.MetricsRegistry` under
+    ``rank.*`` names, parented to the ambient registry, so every engine's
+    accounting also lands in the consolidated process snapshot.  The
+    attribute API (``stats.embed_hits``, ``+= 1`` updates) and the
+    ``report()`` string are unchanged views over the registry.
+    """
+
+    _COUNTERS = ("embed_hits", "embed_misses", "pair_scores", "win_matrices")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry(parent=get_registry())
+        for name in self._COUNTERS:
+            self.registry.counter(f"rank.{name}")
 
     def report(self) -> str:
         total = self.embed_hits + self.embed_misses
@@ -77,6 +85,23 @@ class RankingStats:
             f"{self.embed_misses} encoder forwards "
             f"({self.embed_hits} cache hits, {rate:.0%} hit rate)"
         )
+
+
+def _rank_counter_property(name: str) -> property:
+    metric = f"rank.{name}"
+
+    def getter(self: RankingStats) -> int:
+        return int(self.registry.counter(metric).value)
+
+    def setter(self: RankingStats, value: int) -> None:
+        self.registry.counter(metric).inc(value - getter(self))
+
+    return property(getter, setter)
+
+
+for _name in RankingStats._COUNTERS:
+    setattr(RankingStats, _name, _rank_counter_property(_name))
+del _name
 
 
 class RankingEngine:
@@ -183,26 +208,33 @@ class RankingEngine:
         bitwise-identical to re-encoding every pair.
         """
         count = len(arch_hypers)
-        embeddings = self.embeddings(arch_hypers) if count else np.zeros((0, 0))
-        task = self.task_embedding()
-        pairs_a, pairs_b = ordered_pair_indices(count)
-        wins = np.zeros((count, count), dtype=np.float32)
-        was_training = self.model.training
-        self.model.eval()
-        with no_grad():
-            for start in range(0, len(pairs_a), self.batch_size):
-                ia = pairs_a[start : start + self.batch_size]
-                ib = pairs_b[start : start + self.batch_size]
-                emb_a, emb_b = Tensor(embeddings[ia]), Tensor(embeddings[ib])
-                if task is None:
-                    logits = self.model.score_pairs(emb_a, emb_b)
-                else:
-                    logits = self.model.score_pairs(task, emb_a, emb_b)
-                probability = sigmoid(logits).numpy()
-                wins[ia, ib] = (probability >= 0.5).astype(np.float32)
-        self.model.train(was_training)
-        self.stats.pair_scores += len(pairs_a)
-        self.stats.win_matrices += 1
+        with span("win-matrix", candidates=count) as handle:
+            before = self.stats.embed_misses
+            embeddings = (
+                self.embeddings(arch_hypers) if count else np.zeros((0, 0))
+            )
+            task = self.task_embedding()
+            pairs_a, pairs_b = ordered_pair_indices(count)
+            wins = np.zeros((count, count), dtype=np.float32)
+            was_training = self.model.training
+            self.model.eval()
+            with no_grad():
+                for start in range(0, len(pairs_a), self.batch_size):
+                    ia = pairs_a[start : start + self.batch_size]
+                    ib = pairs_b[start : start + self.batch_size]
+                    emb_a, emb_b = Tensor(embeddings[ia]), Tensor(embeddings[ib])
+                    if task is None:
+                        logits = self.model.score_pairs(emb_a, emb_b)
+                    else:
+                        logits = self.model.score_pairs(task, emb_a, emb_b)
+                    probability = sigmoid(logits).numpy()
+                    wins[ia, ib] = (probability >= 0.5).astype(np.float32)
+            self.model.train(was_training)
+            self.stats.pair_scores += len(pairs_a)
+            self.stats.win_matrices += 1
+            handle.set(
+                pairs=len(pairs_a), encoder_forwards=self.stats.embed_misses - before
+            )
         return sanitize_win_matrix(wins) if sanitize else wins
 
     def __call__(self, arch_hypers: list[ArchHyper]) -> np.ndarray:

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_registry
+
 
 @dataclass(frozen=True)
 class StepHealth:
@@ -196,6 +198,12 @@ class HealthMonitor:
     def _bad(self, epoch: int, step: int, loss: float, grad_norm: float) -> None:
         self.report.bad_steps += 1
         self.report.skipped_steps += 1
+        # The ambient registry is resolved per event (not captured at
+        # construction) so pool-worker monitors report into the worker-local
+        # scope whose deltas relay back to the parent snapshot.
+        registry = get_registry()
+        registry.counter("health.bad_steps").inc()
+        registry.counter("health.skipped_steps").inc()
         self._consecutive_bad += 1
         self._backoff_lr()
         self._record(StepHealth(epoch, step, loss, grad_norm, "skip"))
@@ -204,6 +212,7 @@ class HealthMonitor:
         # The bad streak exhausted its budget: roll back, or give up.
         if self._snapshot is None or self.report.rollbacks >= self.config.max_rollbacks:
             self._record(StepHealth(epoch, step, loss, grad_norm, "diverged"))
+            registry.counter("health.divergences").inc()
             raise DivergenceError(
                 f"training diverged at epoch {epoch}, step {step}: "
                 f"{self.report.bad_steps} bad step(s), "
@@ -215,5 +224,6 @@ class HealthMonitor:
         self.model.load_state_dict(model_state)
         self.optimizer.load_state_dict(optimizer_state)
         self.report.rollbacks += 1
+        registry.counter("health.rollbacks").inc()
         self._consecutive_bad = 0
         self._record(StepHealth(epoch, step, loss, grad_norm, "rollback"))

@@ -25,6 +25,7 @@ from ..data.windows import WindowSet, iterate_batches
 from ..metrics import ForecastScores, evaluate_forecast
 from ..nn.loss import mae_loss
 from ..nn.module import Module
+from ..obs.trace import span
 from ..optim import Adam, clip_grad_norm, grad_norm
 from ..utils.seeding import derive_rng
 from .health import DivergenceError, HealthConfig, HealthMonitor, HealthReport
@@ -91,7 +92,9 @@ def train_forecaster(
     best_state: dict[str, np.ndarray] | None = None
     epochs_without_improvement = 0
     step = 0
-    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+    with span(
+        "train-forecaster", epochs=config.epochs
+    ) as train_span, np.errstate(over="ignore", invalid="ignore", divide="ignore"):
         for epoch in range(config.epochs):
             model.train()
             epoch_losses = []
@@ -131,6 +134,9 @@ def train_forecaster(
                 if epochs_without_improvement >= config.patience:
                     result.stopped_early = True
                     break
+        train_span.set(
+            best_epoch=result.best_epoch, stopped_early=result.stopped_early
+        )
     if best_state is not None:
         model.load_state_dict(best_state)
     return result

@@ -8,12 +8,14 @@ and state-dict (de)serialization.  :class:`Parameter` is a ``Tensor`` with
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 import numpy as np
 
 from ..autodiff import Tensor
-from ..autodiff.anomaly import anomaly_enabled, module_scope
+from ..autodiff.anomaly import anomaly_enabled, current_module_path, module_scope
+from ..obs.profile import profiling_enabled, record_forward
 
 
 class Parameter(Tensor):
@@ -114,6 +116,17 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if profiling_enabled():
+            # Same module_scope stamping as anomaly mode, so a profiled
+            # forward is attributed to its full path (AHC/GIN/Linear).  The
+            # timing never feeds back into computation.
+            with module_scope(type(self).__name__):
+                path = current_module_path()
+                started = time.perf_counter()
+                try:
+                    return self.forward(*args, **kwargs)
+                finally:
+                    record_forward(path, time.perf_counter() - started)
         if anomaly_enabled():
             # Record the module chain so a NonFiniteError can name the
             # creating module path, not just the raw op.

@@ -1,0 +1,116 @@
+"""Unified telemetry: structured tracing, metrics, profiling, heartbeats.
+
+``repro.obs`` is the dependency-free observability layer the rest of the
+pipeline reports into (it imports nothing from the rest of ``repro``, so
+every layer — autodiff, nn, core, runtime, comparator, search — may import
+it without cycles).  Four pieces:
+
+* :mod:`~repro.obs.trace` — nested monotonic-clock spans as versioned
+  JSONL, with worker-span relay for process-pool evaluation,
+* :mod:`~repro.obs.metrics` — named counters/gauges/histograms with parent
+  propagation and one snapshot API (``EvalStats``, ``RankingStats``, and
+  the health monitor render from it),
+* :mod:`~repro.obs.profile` — opt-in per-module forward timing and
+  autodiff op counts, reusing the anomaly mode's ``module_scope`` stamping,
+* :mod:`~repro.obs.heartbeat` — rate-limited progress lines for long runs.
+
+Contract: telemetry observes, it never feeds computation.  Disabled, the
+hot paths are bitwise-inert; enabled, all scores stay bitwise-identical.
+See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .heartbeat import (
+    Heartbeat,
+    configure_heartbeat,
+    heartbeat,
+    heartbeat_enabled,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    global_registry,
+    metrics_scope,
+    render_metrics,
+)
+from .profile import (
+    PROFILE_ENV,
+    profile,
+    profiling_enabled,
+    record_forward,
+    record_op,
+    set_profiling_default,
+)
+from .report import (
+    StageStats,
+    Trace,
+    build_tree,
+    candidate_timeline,
+    load_trace,
+    render_report,
+    render_rollup,
+    render_timeline,
+    render_tree,
+    stage_rollup,
+)
+from .trace import (
+    NULL_SPAN,
+    TRACE_ENV,
+    TRACE_SCHEMA_VERSION,
+    SpanHandle,
+    Tracer,
+    configure_tracing,
+    current_span_id,
+    file_tracer,
+    get_tracer,
+    span,
+    tracer_scope,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Heartbeat",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "PROFILE_ENV",
+    "SpanHandle",
+    "StageStats",
+    "TRACE_ENV",
+    "TRACE_SCHEMA_VERSION",
+    "Trace",
+    "Tracer",
+    "build_tree",
+    "candidate_timeline",
+    "configure_heartbeat",
+    "configure_tracing",
+    "current_span_id",
+    "file_tracer",
+    "get_registry",
+    "get_tracer",
+    "global_registry",
+    "heartbeat",
+    "heartbeat_enabled",
+    "load_trace",
+    "metrics_scope",
+    "profile",
+    "profiling_enabled",
+    "record_forward",
+    "record_op",
+    "render_metrics",
+    "render_report",
+    "render_rollup",
+    "render_timeline",
+    "render_tree",
+    "set_profiling_default",
+    "span",
+    "stage_rollup",
+    "tracer_scope",
+    "tracing_enabled",
+]

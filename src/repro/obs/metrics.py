@@ -1,0 +1,262 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Every layer of the pipeline used to keep its own ad-hoc counters
+(``EvalStats``, ``RankingStats``, the health monitor's report, the GIN
+encoder's forward accounting).  This module gives them one home: a
+:class:`MetricsRegistry` of named instruments with a single
+:meth:`~MetricsRegistry.snapshot` API, so "what did this run spend and
+where" is one call instead of four object walks.
+
+Design points:
+
+* **Parent propagation** — a registry built with ``parent=`` tees every
+  update into the parent's instrument of the same name.  Per-component
+  stats objects (one per evaluator, one per ranking engine) keep isolated
+  local counts *and* feed the process-wide registry, which is what the
+  CLI's consolidated end-of-run snapshot renders.
+* **Scopes** — :func:`metrics_scope` pushes a fresh (or given) registry as
+  the ambient default on the current thread.  Process-pool evaluation
+  workers run each unit of work inside a scope, snapshot the delta, and
+  ship it back through the result plumbing; the parent merges it with
+  :meth:`MetricsRegistry.merge`, so worker-side counters (health monitor,
+  profiling hooks) are not lost at the process boundary.
+* **Observability only** — instruments never feed computation.  Updates
+  are plain attribute arithmetic (no locks); a lost increment under racing
+  threads costs a count, never a score.
+
+Naming convention (see ``docs/observability.md``): dotted lowercase
+``component.metric`` — ``eval.misses``, ``rank.embed_hits``,
+``health.bad_steps``, ``profile.forward.<Module>.seconds``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+
+class Counter:
+    """A monotonically increasing (float-valued) count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value", "_parent")
+
+    def __init__(self, name: str, parent: "Counter | None" = None) -> None:
+        self.name = name
+        self.value = 0.0
+        self._parent = parent
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        self.inc(float(snap["value"]))
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "_parent")
+
+    def __init__(self, name: str, parent: "Gauge | None" = None) -> None:
+        self.name = name
+        self.value = 0.0
+        self._parent = parent
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self._parent is not None:
+            self._parent.set(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        self.set(float(snap["value"]))
+
+
+class Histogram:
+    """Count/total/min/max summary of an observed distribution.
+
+    Deliberately not bucketed: the consumers (rollup reports, heartbeat
+    throughput lines) only need totals and extremes, and a fixed-size
+    summary merges exactly across process boundaries.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "min", "max", "_parent")
+
+    def __init__(self, name: str, parent: "Histogram | None" = None) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._parent = parent
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if self._parent is not None:
+            self._parent.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def merge(self, snap: dict) -> None:
+        count = int(snap["count"])
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(snap["total"])
+        for bound, pick in (("min", min), ("max", max)):
+            other = snap.get(bound)
+            if other is None:
+                continue
+            ours = getattr(self, bound)
+            setattr(self, bound, other if ours is None else pick(ours, other))
+        if self._parent is not None:
+            self._parent.merge(snap)
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and one snapshot API."""
+
+    def __init__(self, parent: "MetricsRegistry | None" = None) -> None:
+        self.parent = parent
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            parent = self.parent._get(name, cls) if self.parent is not None else None
+            instrument = cls(name, parent)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge / render
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as plain JSON-safe dicts, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (e.g. relayed from a worker) into this
+        registry; counts add, gauges overwrite, histograms combine."""
+        for name, snap in snapshot.items():
+            cls = _KINDS.get(snap.get("kind"))
+            if cls is None:
+                continue
+            self._get(name, cls).merge(snap)
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def render(self, prefix: str = "") -> str:
+        """A compact text block of every instrument (the end-of-run view)."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            if prefix and not name.startswith(prefix):
+                continue
+            if snap["kind"] == "histogram":
+                bounds = " ".join(
+                    f"{bound}={snap[bound]:.4g}" if snap[bound] is not None else f"{bound}=-"
+                    for bound in ("min", "max")
+                )
+                lines.append(
+                    f"{name}: n={snap['count']} total={snap['total']:.4g} "
+                    f"mean={snap['mean']:.4g} {bounds}"
+                )
+            else:
+                value = snap["value"]
+                shown = int(value) if float(value).is_integer() else f"{value:.4g}"
+                lines.append(f"{name}: {shown}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ambient registry: a process-wide default plus thread-local scopes
+# ---------------------------------------------------------------------------
+
+_global_registry = MetricsRegistry()
+_tls = threading.local()
+
+
+def _scope_stack() -> list[MetricsRegistry]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def get_registry() -> MetricsRegistry:
+    """The ambient registry: innermost :func:`metrics_scope`, else global."""
+    stack = _scope_stack()
+    return stack[-1] if stack else _global_registry
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (the consolidated end-of-run snapshot)."""
+    return _global_registry
+
+
+@contextlib.contextmanager
+def metrics_scope(registry: MetricsRegistry | None = None):
+    """Make ``registry`` (default: a fresh one) ambient on this thread.
+
+    Used by pool workers to capture per-evaluation metric deltas for relay,
+    and by tests to isolate metric assertions from the process-wide state.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    stack = _scope_stack()
+    stack.append(registry)
+    try:
+        yield registry
+    finally:
+        stack.pop()
+
+
+def render_metrics(prefix: str = "") -> str:
+    """Render the consolidated (global) registry as text."""
+    return _global_registry.render(prefix)

@@ -1,0 +1,238 @@
+"""Render a trace file: per-stage rollup, span tree, candidate timeline.
+
+The consumer of ``--trace`` output is ``repro trace report``, which answers
+the three questions the ISSUE's motivation names: *where did wall-clock go*
+(the per-stage rollup), *what did the run actually do* (the reconstructed
+span tree, pool-worker evaluations attributed to their batch), and *what
+happened to candidate X* (the per-candidate timeline with retry attempts
+and divergence flags).
+
+Traces are versioned (:data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`);
+records from a newer major schema are rejected loudly rather than
+misrendered, and unparseable lines (a run killed mid-write) are skipped
+with a count so a truncated trace still reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .trace import TRACE_SCHEMA_VERSION
+
+
+@dataclass
+class Trace:
+    """A parsed trace file."""
+
+    meta: dict | None
+    spans: list[dict]
+    skipped_lines: int = 0
+
+    @property
+    def schema(self) -> int:
+        return int(self.meta.get("schema", 1)) if self.meta else 1
+
+
+@dataclass
+class StageStats:
+    """Rollup of every span sharing one name."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    errors: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    """Parse a JSONL trace, tolerating truncated lines, rejecting future schemas."""
+    meta: dict | None = None
+    spans: list[dict] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            version = int(record.get("v", 1))
+            if version > TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"trace record schema v{version} is newer than supported "
+                    f"v{TRACE_SCHEMA_VERSION}; upgrade repro to read this trace"
+                )
+            kind = record.get("kind")
+            if kind == "trace":
+                meta = record
+            elif kind == "span":
+                spans.append(record)
+            else:
+                skipped += 1
+    return Trace(meta=meta, spans=spans, skipped_lines=skipped)
+
+
+def stage_rollup(spans: list[dict]) -> dict[str, StageStats]:
+    """Aggregate span durations by name (insertion-ordered by first use)."""
+    rollup: dict[str, StageStats] = {}
+    for record in spans:
+        stats = rollup.setdefault(record["name"], StageStats())
+        duration = float(record.get("dur", 0.0))
+        stats.count += 1
+        stats.total += duration
+        stats.max = max(stats.max, duration)
+        if "error" in record.get("attrs", {}):
+            stats.errors += 1
+    return rollup
+
+
+def build_tree(spans: list[dict]) -> tuple[list[dict], dict[str, list[dict]]]:
+    """Return (roots, children-by-parent-id), each level ordered by wall start.
+
+    Spans whose parent never closed (a crashed run) are promoted to roots so
+    the tree always accounts for every record.
+    """
+    by_id = {record["id"]: record for record in spans}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+    order = lambda record: record.get("wall0", 0.0)  # noqa: E731
+    roots.sort(key=order)
+    for siblings in children.values():
+        siblings.sort(key=order)
+    return roots, children
+
+
+_TREE_ATTRS = (
+    "task",
+    "method",
+    "candidate",
+    "index",
+    "pairs",
+    "evaluated",
+    "candidates",
+    "attempt",
+    "diverged",
+    "error",
+)
+
+
+def _shorten(value, limit: int = 48) -> str:
+    """Candidate keys are full ArchHyper JSON; keep display lines readable."""
+    text = str(value)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def _describe(record: dict) -> str:
+    attrs = record.get("attrs", {})
+    shown = [f"{key}={_shorten(attrs[key])}" for key in _TREE_ATTRS if key in attrs]
+    suffix = f" [{', '.join(shown)}]" if shown else ""
+    return f"{record['name']} {float(record.get('dur', 0.0)):.3f}s{suffix}"
+
+
+def render_tree(
+    roots: list[dict],
+    children: dict[str, list[dict]],
+    max_depth: int | None = None,
+    max_children: int = 40,
+) -> str:
+    """Indented span tree; sibling overflow beyond ``max_children`` is elided."""
+    lines: list[str] = []
+
+    def walk(record: dict, depth: int) -> None:
+        lines.append("  " * depth + _describe(record))
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        kids = children.get(record["id"], [])
+        for child in kids[:max_children]:
+            walk(child, depth + 1)
+        if len(kids) > max_children:
+            lines.append("  " * (depth + 1) + f"... {len(kids) - max_children} more")
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_rollup(rollup: dict[str, StageStats]) -> str:
+    """The per-stage time/count table, widest totals first."""
+    header = f"{'stage':<18} {'count':>6} {'total s':>9} {'mean s':>9} {'max s':>9} {'errors':>7}"
+    lines = [header, "-" * len(header)]
+    for name, stats in sorted(rollup.items(), key=lambda kv: -kv[1].total):
+        lines.append(
+            f"{name:<18} {stats.count:>6} {stats.total:>9.3f} "
+            f"{stats.mean:>9.3f} {stats.max:>9.3f} {stats.errors:>7}"
+        )
+    return "\n".join(lines)
+
+
+def candidate_timeline(spans: list[dict]) -> list[dict]:
+    """Per-candidate evaluation events in wall-clock order."""
+    events = [
+        record
+        for record in spans
+        if record["name"] == "eval" and "candidate" in record.get("attrs", {})
+    ]
+    events.sort(key=lambda record: record.get("wall0", 0.0))
+    return events
+
+
+def render_timeline(spans: list[dict], limit: int = 60) -> str:
+    events = candidate_timeline(spans)
+    if not events:
+        return "(no per-candidate eval spans in this trace)"
+    origin = events[0].get("wall0", 0.0)
+    lines = []
+    for record in events[:limit]:
+        attrs = record.get("attrs", {})
+        offset = record.get("wall0", 0.0) - origin
+        flags = []
+        if attrs.get("attempt", 1) != 1:
+            flags.append(f"attempt {attrs['attempt']}")
+        if attrs.get("diverged"):
+            flags.append("diverged")
+        if "error" in attrs:
+            flags.append(f"error {attrs['error']}")
+        note = f" ({', '.join(flags)})" if flags else ""
+        lines.append(
+            f"+{offset:8.3f}s  {float(record.get('dur', 0.0)):7.3f}s  "
+            f"task={attrs.get('task', '?')}  "
+            f"{_shorten(attrs.get('candidate', '?'), 72)}{note}"
+        )
+    if len(events) > limit:
+        lines.append(f"... {len(events) - limit} more evaluations")
+    return "\n".join(lines)
+
+
+def render_report(path: str | os.PathLike, max_depth: int | None = None) -> str:
+    """The full ``repro trace report`` output for one trace file."""
+    trace = load_trace(path)
+    roots, children = build_tree(trace.spans)
+    sections = [
+        f"trace {os.fspath(path)}: schema v{trace.schema}, "
+        f"{len(trace.spans)} spans"
+        + (f", {trace.skipped_lines} unparseable line(s) skipped" if trace.skipped_lines else ""),
+        "",
+        "== per-stage rollup ==",
+        render_rollup(stage_rollup(trace.spans)),
+        "",
+        "== span tree ==",
+        render_tree(roots, children, max_depth=max_depth),
+        "",
+        "== candidate timeline ==",
+        render_timeline(trace.spans),
+    ]
+    return "\n".join(sections)

@@ -34,6 +34,7 @@ pre-fills already-scored evaluations on resume.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
 import threading
@@ -41,12 +42,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.health import DivergenceError
+from ..obs.heartbeat import heartbeat
+from ..obs.metrics import MetricsRegistry, get_registry, metrics_scope
+from ..obs.trace import Tracer, get_tracer, span, tracer_scope, tracing_enabled
 from ..space.archhyper import ArchHyper
 from ..tasks.proxy import SENTINEL_SCORE, ProxyConfig, measure_arch_hyper
 from ..tasks.task import Task
@@ -90,21 +93,63 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(1, int(workers))
 
 
-@dataclass
 class EvalStats:
-    """Counters and timings accumulated across an evaluator's lifetime."""
+    """Counters and timings accumulated across an evaluator's lifetime.
 
-    hits: int = 0
-    misses: int = 0
-    resumed: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    failures: int = 0
-    degradations: int = 0
-    divergences: int = 0
-    eval_seconds: list[float] = field(default_factory=list)
-    batch_seconds: float = 0.0
-    batches: int = 0
+    The counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``eval.*`` names) whose parent is the registry that was ambient when
+    the evaluator was built — normally the process-wide one — so every
+    evaluator keeps isolated local counts *and* feeds the consolidated
+    end-of-run snapshot.  The attribute API (``stats.misses``,
+    ``stats.misses += 1``) is preserved as a thin view over the registry.
+    """
+
+    _COUNTERS = (
+        "hits",
+        "misses",
+        "resumed",
+        "retries",
+        "timeouts",
+        "failures",
+        "degradations",
+        "divergences",
+        "batches",
+    )
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry(parent=get_registry())
+        self.registry = registry
+        self.eval_seconds: list[float] = []
+
+    def _counter(self, name: str):
+        return self.registry.counter(f"eval.{name}")
+
+    def record_eval(self, seconds: float, queue_wait: float = 0.0) -> None:
+        """Account one fresh evaluation's compute time and queue wait."""
+        self.eval_seconds.append(seconds)
+        self.registry.histogram("eval.seconds").observe(seconds)
+        self._counter("compute_seconds").inc(seconds)
+        self._counter("queue_wait_seconds").inc(queue_wait)
+
+    @property
+    def batch_seconds(self) -> float:
+        return self._counter("batch_seconds").value
+
+    @batch_seconds.setter
+    def batch_seconds(self, value: float) -> None:
+        counter = self._counter("batch_seconds")
+        counter.inc(float(value) - counter.value)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Wall time spent inside evaluations (excludes pool queue wait)."""
+        return self._counter("compute_seconds").value
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Time evaluations sat in a backend queue before starting."""
+        return self._counter("queue_wait_seconds").value
 
     @property
     def evaluations(self) -> int:
@@ -124,47 +169,118 @@ class EvalStats:
         return self.retries + self.timeouts + self.degradations
 
     def report(self) -> str:
-        """One-line human summary (surfaced by the CLI after a search)."""
-        eval_wall = float(np.sum(self.eval_seconds)) if self.eval_seconds else 0.0
-        mean = eval_wall / self.evaluations if self.evaluations else 0.0
+        """One-line human summary rendered from the metrics registry."""
+        snap = self.registry.snapshot()
+
+        def count(name: str) -> int:
+            return int(snap.get(f"eval.{name}", {}).get("value", 0))
+
+        seconds = snap.get("eval.seconds", {})
+        eval_wall = float(seconds.get("total", 0.0))
+        evaluations = int(seconds.get("count", 0))
+        mean = eval_wall / evaluations if evaluations else 0.0
+        total = count("hits") + count("misses")
+        hit_rate = count("hits") / total if total else 0.0
+        queue_wait = float(snap.get("eval.queue_wait_seconds", {}).get("value", 0.0))
         line = (
-            f"proxy evaluations: {self.misses} fresh, {self.hits} cache hits "
-            f"({self.hit_rate:.1%} hit rate); "
+            f"proxy evaluations: {count('misses')} fresh, {count('hits')} cache hits "
+            f"({hit_rate:.1%} hit rate); "
             f"eval wall {eval_wall:.2f}s total, {mean:.3f}s/eval mean; "
-            f"{self.batches} batches in {self.batch_seconds:.2f}s"
+            f"{count('batches')} batches in "
+            f"{float(snap.get('eval.batch_seconds', {}).get('value', 0.0)):.2f}s "
+            f"(compute {eval_wall:.2f}s, queue wait {queue_wait:.2f}s)"
         )
-        if self.resumed:
-            line += f"; {self.resumed} resumed from checkpoint"
+        if count("resumed"):
+            line += f"; {count('resumed')} resumed from checkpoint"
         line += (
-            f"; faults: {self.retries} retries, {self.timeouts} timeouts, "
-            f"{self.degradations} pool degradations, {self.failures} failures"
+            f"; faults: {count('retries')} retries, {count('timeouts')} timeouts, "
+            f"{count('degradations')} pool degradations, {count('failures')} failures"
         )
-        if self.divergences:
-            line += f"; {self.divergences} diverged candidate(s) -> sentinel score"
+        if count("divergences"):
+            line += (
+                f"; {count('divergences')} diverged candidate(s) -> sentinel score"
+            )
         return line
 
 
-def _timed_eval(payload: tuple) -> tuple[float, float, bool]:
-    """Run one evaluation and report (score, wall seconds, diverged).
+def _make_counter_property(name: str):
+    def getter(self: EvalStats) -> int:
+        return int(self._counter(name).value)
+
+    def setter(self: EvalStats, value: int) -> None:
+        counter = self._counter(name)
+        counter.inc(float(value) - counter.value)
+
+    return property(getter, setter)
+
+
+for _name in EvalStats._COUNTERS:
+    setattr(EvalStats, _name, _make_counter_property(_name))
+del _name
+
+
+def _timed_eval(payload: tuple) -> tuple[float, float, bool, float, list, dict]:
+    """Run one evaluation; report (score, seconds, diverged, started-at-wall,
+    collected span records, metric deltas).
 
     Module-level so the process-pool backend can pickle it; the eval function
     itself rides along in the payload and must be picklable too.
 
-    Divergence handling lives *here*, inside the unit of work, so the serial
-    and process-pool backends behave identically: under the ``sentinel``
-    policy a :class:`DivergenceError` deterministically becomes
-    :data:`SENTINEL_SCORE` (no exception crosses the process boundary, no
-    retry is triggered); under ``raise`` it propagates to the caller.
+    Telemetry capture lives *here*, inside the unit of work, so the serial
+    and process-pool backends agree: the evaluation runs under a fresh
+    metrics scope (health-monitor and profiling counters become a relayable
+    delta) and — when the parent has tracing on — under an in-memory span
+    collector whose records ride back through the result plumbing.  The
+    wall-clock entry timestamp lets the parent split queue wait from compute
+    time (monotonic clocks are not comparable across processes, wall clocks
+    on one machine are).
+
+    Divergence handling is also here so both backends behave identically:
+    under the ``sentinel`` policy a :class:`DivergenceError`
+    deterministically becomes :data:`SENTINEL_SCORE` (no exception crosses
+    the process boundary, no retry is triggered); under ``raise`` it
+    propagates to the caller.
     """
-    eval_fn, arch_hyper, task, config, divergence_policy = payload
-    start = time.perf_counter()
-    try:
-        score = eval_fn(arch_hyper, task, config)
-    except DivergenceError:
-        if divergence_policy == "raise":
-            raise
-        return SENTINEL_SCORE, time.perf_counter() - start, True
-    return float(score), time.perf_counter() - start, False
+    eval_fn, arch_hyper, task, config, divergence_policy, trace = payload
+    started_wall = time.time()
+    spans: list[dict] = []
+    collector = Tracer(spans.append) if trace else None
+    scope = tracer_scope(collector) if trace else contextlib.nullcontext()
+    with scope, metrics_scope() as local_metrics:
+        start = time.perf_counter()
+        score, diverged = _guarded_eval(
+            eval_fn, arch_hyper, task, config, divergence_policy, collector
+        )
+        seconds = time.perf_counter() - start
+    return (
+        float(score),
+        seconds,
+        diverged,
+        started_wall,
+        spans,
+        local_metrics.snapshot(),
+    )
+
+
+def _guarded_eval(
+    eval_fn, arch_hyper, task, config, divergence_policy, collector
+) -> tuple[float, bool]:
+    """One evaluation under an (optional) ``eval`` span; (score, diverged)."""
+    span_cm = (
+        collector.span("eval", candidate=arch_hyper.key(), task=task.name)
+        if collector is not None
+        else contextlib.nullcontext()
+    )
+    with span_cm as handle:
+        try:
+            score = eval_fn(arch_hyper, task, config)
+        except DivergenceError:
+            if divergence_policy == "raise":
+                raise
+            if handle is not None:
+                handle.set(diverged=True)
+            return SENTINEL_SCORE, True
+    return float(score), False
 
 
 # One evaluation job flowing through a backend: its position in the batch,
@@ -251,50 +367,79 @@ class ProxyEvaluator:
         )
         scores: list[float | None] = [None] * len(pairs)
         jobs: list[_Job] = []
-        for position, (arch_hyper, task) in enumerate(pairs):
-            fingerprint = None
-            if need_fingerprint:
-                fingerprint = proxy_fingerprint(arch_hyper, task, config)
-            if progress is not None and fingerprint is not None:
-                known = progress.known(fingerprint)
-                if known is not None:
-                    scores[position] = known
-                    self.stats.resumed += 1
-                    continue
-            if self.cache is not None and fingerprint is not None:
-                cached = self.cache.get(fingerprint)
-                if cached is not None:
-                    scores[position] = cached
-                    self.stats.hits += 1
+        with span("eval-batch", pairs=len(pairs), workers=self.workers) as batch_span:
+            for position, (arch_hyper, task) in enumerate(pairs):
+                fingerprint = None
+                if need_fingerprint:
+                    fingerprint = proxy_fingerprint(arch_hyper, task, config)
+                if progress is not None and fingerprint is not None:
+                    known = progress.known(fingerprint)
+                    if known is not None:
+                        scores[position] = known
+                        self.stats.resumed += 1
+                        continue
+                if self.cache is not None and fingerprint is not None:
+                    cached = self.cache.get(fingerprint)
+                    if cached is not None:
+                        scores[position] = cached
+                        self.stats.hits += 1
+                        if progress is not None:
+                            progress.record(fingerprint, cached)
+                        continue
+                self.stats.misses += 1
+                jobs.append((position, fingerprint, arch_hyper, task))
+            batch_span.set(evaluated=len(jobs), cached=len(pairs) - len(jobs))
+            done = 0
+
+            def on_result(job: _Job, outcome: tuple, attempts: int) -> None:
+                nonlocal done
+                position, fingerprint, _, _ = job
+                score, seconds, diverged, queue_wait, spans, metrics = outcome
+                scores[position] = score
+                self.stats.record_eval(seconds, queue_wait)
+                if diverged:
+                    self.stats.divergences += 1
+                if self.cache is not None and fingerprint is not None:
+                    # Sentinel scores are cached like any other: the fingerprint
+                    # fully determines divergence, so re-evaluating is pointless.
+                    self.cache.put(fingerprint, score, seconds)
+                if progress is not None and fingerprint is not None:
+                    progress.record(fingerprint, score)
+                # Fold worker-side metric deltas (health monitor, profiling)
+                # into this evaluator's registry — and, via its parent link,
+                # into the consolidated process-wide snapshot.
+                if metrics:
+                    self.stats.registry.merge(metrics)
+                # Graft worker spans onto this batch, stamped with what only
+                # the parent knows: the attempt that finally landed and the
+                # content-addressed fingerprint.
+                tracer = get_tracer()
+                if spans and tracer is not None:
+                    root_attrs: dict = {"attempt": attempts}
+                    if fingerprint is not None:
+                        root_attrs["fingerprint"] = fingerprint
+                    tracer.relay(spans, batch_span.id, root_attrs)
+                done += 1
+                heartbeat(
+                    "eval",
+                    lambda: (
+                        f"evals {done}/{len(jobs)}; "
+                        f"{done / max(time.perf_counter() - start, 1e-9):.2f} eval/s "
+                        f"this batch; cache hit rate {self.stats.hit_rate:.0%}; "
+                        f"queue wait {self.stats.queue_wait_seconds:.1f}s"
+                    ),
+                )
+
+            if jobs:
+                try:
+                    self._run_backend(jobs, config, on_result)
+                finally:
+                    # Persist whatever landed before a failure interrupted us.
                     if progress is not None:
-                        progress.record(fingerprint, cached)
-                    continue
-            self.stats.misses += 1
-            jobs.append((position, fingerprint, arch_hyper, task))
+                        progress.flush()
 
-        def on_result(job: _Job, score: float, seconds: float, diverged: bool) -> None:
-            position, fingerprint, _, _ = job
-            scores[position] = score
-            self.stats.eval_seconds.append(seconds)
-            if diverged:
-                self.stats.divergences += 1
-            if self.cache is not None and fingerprint is not None:
-                # Sentinel scores are cached like any other: the fingerprint
-                # fully determines divergence, so re-evaluating is pointless.
-                self.cache.put(fingerprint, score, seconds)
-            if progress is not None and fingerprint is not None:
-                progress.record(fingerprint, score)
-
-        if jobs:
-            try:
-                self._run_backend(jobs, config, on_result)
-            finally:
-                # Persist whatever landed before a failure interrupted us.
-                if progress is not None:
-                    progress.flush()
-
-        self.stats.batches += 1
-        self.stats.batch_seconds += time.perf_counter() - start
+            self.stats.batches += 1
+            self.stats.batch_seconds += time.perf_counter() - start
         assert all(score is not None for score in scores)
         return [float(score) for score in scores]  # type: ignore[arg-type]
 
@@ -303,13 +448,20 @@ class ProxyEvaluator:
     # ------------------------------------------------------------------
     def _payload(self, job: _Job, config: ProxyConfig) -> tuple:
         _, _, arch_hyper, task = job
-        return (self.eval_fn, arch_hyper, task, config, self.divergence_policy)
+        return (
+            self.eval_fn,
+            arch_hyper,
+            task,
+            config,
+            self.divergence_policy,
+            tracing_enabled(),
+        )
 
     def _run_backend(
         self,
         jobs: list[_Job],
         config: ProxyConfig,
-        on_result: Callable[[_Job, float, float, bool], None],
+        on_result: Callable[[_Job, tuple, int], None],
     ) -> None:
         if self.workers <= 1 or len(jobs) <= 1:
             self._run_serial(jobs, config, on_result)
@@ -331,34 +483,47 @@ class ProxyEvaluator:
             )
             self._run_serial(remaining, config, on_result)
 
+    @staticmethod
+    def _outcome(result: tuple, submitted_wall: float) -> tuple:
+        """Attach the queue wait (worker start − submission, wall clock) to a
+        raw :func:`_timed_eval` result."""
+        score, seconds, diverged, started_wall, spans, metrics = result
+        queue_wait = max(0.0, started_wall - submitted_wall)
+        return (score, seconds, diverged, queue_wait, spans, metrics)
+
     def _run_serial(
         self,
         jobs: list[_Job],
         config: ProxyConfig,
-        on_result: Callable[[_Job, float, float, bool], None],
+        on_result: Callable[[_Job, tuple, int], None],
     ) -> None:
         for job in jobs:
-            score, seconds, diverged = self._run_one_with_retries(job, config)
-            on_result(job, score, seconds, diverged)
+            submitted_wall = time.time()
+            result, attempts = self._run_one_with_retries(job, config)
+            on_result(job, self._outcome(result, submitted_wall), attempts)
 
     def _run_pool(
         self,
         jobs: list[_Job],
         config: ProxyConfig,
-        on_result: Callable[[_Job, float, float, bool], None],
+        on_result: Callable[[_Job, tuple, int], None],
         settled: set[int],
     ) -> None:
         policy = self.retry_policy
         timeout = policy.timeout if policy is not None else None
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(jobs)))
         try:
-            futures = [pool.submit(_timed_eval, self._payload(job, config)) for job in jobs]
-            for job, future in zip(jobs, futures):
+            submitted_wall = []
+            futures = []
+            for job in jobs:
+                submitted_wall.append(time.time())
+                futures.append(pool.submit(_timed_eval, self._payload(job, config)))
+            for index, (job, future) in enumerate(zip(jobs, futures)):
                 attempts = 0
                 while True:
                     error: BaseException
                     try:
-                        score, seconds, diverged = future.result(timeout=timeout)
+                        result = future.result(timeout=timeout)
                         break
                     except FutureTimeoutError:
                         self.stats.timeouts += 1
@@ -386,8 +551,9 @@ class ProxyEvaluator:
                         ) from error
                     self.stats.retries += 1
                     self._sleep(policy.delay(attempts - 1, job[1]))
+                    submitted_wall[index] = time.time()
                     future = pool.submit(_timed_eval, self._payload(job, config))
-                on_result(job, score, seconds, diverged)
+                on_result(job, self._outcome(result, submitted_wall[index]), attempts + 1)
                 settled.add(job[0])
         finally:
             # wait=False: never block on a worker wedged past its timeout.
@@ -398,14 +564,14 @@ class ProxyEvaluator:
     # ------------------------------------------------------------------
     def _run_one_with_retries(
         self, job: _Job, config: ProxyConfig
-    ) -> tuple[float, float, bool]:
+    ) -> tuple[tuple, int]:
         policy = self.retry_policy
         payload = self._payload(job, config)
         attempts = 0
         while True:
             error: BaseException
             try:
-                return self._attempt_serial(payload)
+                return self._attempt_serial(payload), attempts + 1
             except EvalTimeoutError as exc:
                 self.stats.timeouts += 1
                 error = exc
@@ -426,7 +592,7 @@ class ProxyEvaluator:
             self.stats.retries += 1
             self._sleep(policy.delay(attempts - 1, job[1]))
 
-    def _attempt_serial(self, payload: tuple) -> tuple[float, float, bool]:
+    def _attempt_serial(self, payload: tuple) -> tuple:
         """One in-process attempt, with thread-based timeout enforcement.
 
         Without a timeout the evaluation runs inline.  With one, it runs in

@@ -30,6 +30,8 @@ from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..metrics import ForecastScores
 from ..nn.loss import bce_with_logits
+from ..obs.heartbeat import heartbeat
+from ..obs.trace import span
 from ..optim import Adam
 from typing import TYPE_CHECKING
 
@@ -111,9 +113,12 @@ class AutoCTSPlusSearch:
         evaluator = self.evaluator or get_default_evaluator()
         checkpoint = self._checkpoint("collect", "eval-progress")
         progress = EvalProgress(checkpoint) if checkpoint is not None else None
-        scores = evaluator.evaluate_pairs(
-            [(ah, task) for ah in candidates], self.config.proxy, progress=progress
-        )
+        with span("collect", task=task.name, candidates=len(candidates)):
+            scores = evaluator.evaluate_pairs(
+                [(ah, task) for ah in candidates],
+                self.config.proxy,
+                progress=progress,
+            )
         if not has_comparable_pair(np.asarray(scores)):
             raise DivergenceError(
                 f"every measured candidate diverged on task {task.name!r}; "
@@ -164,28 +169,40 @@ class AutoCTSPlusSearch:
                 rng.bit_generator.state = state["rng"]
                 losses = list(state["losses"])
                 start_epoch = int(state["epoch"])
-        for epoch in range(start_epoch, config.ahc_epochs):
-            pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
-            index_a, index_b, labels = pair_index_arrays(pairs)
-            # Encode-once: one GIN forward over the measured pool, pair
-            # sides gathered from the shared embedding batch.
-            embeddings = ahc.embed(encodings)
-            logits = ahc.score_pairs(embeddings[index_a], embeddings[index_b])
-            loss = bce_with_logits(logits, labels)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
-            if checkpoint is not None:
-                checkpoint.save(
-                    {
-                        "epoch": epoch + 1,
-                        "model": ahc.state_dict(),
-                        "optimizer": optimizer.state_dict(),
-                        "rng": rng.bit_generator.state,
-                        "losses": list(losses),
-                    }
+        with span(
+            "train-comparator", epochs=config.ahc_epochs, samples=len(measured)
+        ) as handle:
+            for epoch in range(start_epoch, config.ahc_epochs):
+                pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
+                index_a, index_b, labels = pair_index_arrays(pairs)
+                # Encode-once: one GIN forward over the measured pool, pair
+                # sides gathered from the shared embedding batch.
+                embeddings = ahc.embed(encodings)
+                logits = ahc.score_pairs(embeddings[index_a], embeddings[index_b])
+                loss = bce_with_logits(logits, labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+                if checkpoint is not None:
+                    checkpoint.save(
+                        {
+                            "epoch": epoch + 1,
+                            "model": ahc.state_dict(),
+                            "optimizer": optimizer.state_dict(),
+                            "rng": rng.bit_generator.state,
+                            "losses": list(losses),
+                        }
+                    )
+                heartbeat(
+                    "ahc-train",
+                    lambda: (
+                        f"AHC epoch {epoch + 1}/{config.ahc_epochs}; "
+                        f"loss {losses[-1]:.4f}"
+                    ),
                 )
+            if losses:
+                handle.set(final_loss=losses[-1])
         return ahc, losses
 
     def rank(self, ahc: AHC) -> list[ArchHyper]:
@@ -218,30 +235,49 @@ class AutoCTSPlusSearch:
         prepared = task.prepared
         best_val = float("inf")
         best: tuple[ArchHyper, ForecastScores] | None = None
-        for candidate in candidates:
-            model = build_forecaster(candidate, task.data, task.horizon, seed=config.seed)
-            try:
-                train_forecaster(
-                    model,
-                    prepared.train,
-                    prepared.val,
-                    TrainConfig(
-                        epochs=config.final_train_epochs,
-                        batch_size=config.batch_size,
-                        patience=max(3, config.final_train_epochs // 3),
-                        seed=config.seed,
+        with span("final-train", task=task.name, candidates=len(candidates)):
+            for position, candidate in enumerate(candidates):
+                with span(
+                    "final-candidate", candidate=candidate.key(), index=position
+                ) as handle:
+                    model = build_forecaster(
+                        candidate, task.data, task.horizon, seed=config.seed
+                    )
+                    try:
+                        train_forecaster(
+                            model,
+                            prepared.train,
+                            prepared.val,
+                            TrainConfig(
+                                epochs=config.final_train_epochs,
+                                batch_size=config.batch_size,
+                                patience=max(3, config.final_train_epochs // 3),
+                                seed=config.seed,
+                            ),
+                        )
+                    except DivergenceError:
+                        handle.set(diverged=True)
+                        continue  # diverged candidate: automatic loser
+                    val = evaluate_forecaster(model, prepared.val, config.batch_size)
+                    primary = val.primary(single_step=task.single_step)
+                    handle.set(val=float(primary))
+                    if np.isfinite(primary) and primary < best_val:
+                        best_val = primary
+                        test = evaluate_forecaster(
+                            model,
+                            prepared.test,
+                            config.batch_size,
+                            inverse=prepared.inverse,
+                        )
+                        best = (candidate, test)
+                heartbeat(
+                    "final-train",
+                    lambda: (
+                        f"final training {position + 1}/{len(candidates)} "
+                        f"candidates; best val "
+                        + (f"{best_val:.4f}" if best is not None else "n/a")
                     ),
                 )
-            except DivergenceError:
-                continue  # diverged candidate: automatic loser
-            val = evaluate_forecaster(model, prepared.val, config.batch_size)
-            primary = val.primary(single_step=task.single_step)
-            if np.isfinite(primary) and primary < best_val:
-                best_val = primary
-                test = evaluate_forecaster(
-                    model, prepared.test, config.batch_size, inverse=prepared.inverse
-                )
-                best = (candidate, test)
         if best is None:
             raise DivergenceError(
                 f"all {len(candidates)} final candidates diverged on task "
@@ -253,10 +289,12 @@ class AutoCTSPlusSearch:
     # Full pipeline
     # ------------------------------------------------------------------
     def search(self, task: Task) -> AutoCTSPlusResult:
-        measured = self.collect_samples(task)
-        ahc, losses = self.train_comparator(measured)
-        top = self.rank(ahc)
-        best, scores = self.train_final(task, top)
+        with span("search", method="autocts+", task=task.name) as handle:
+            measured = self.collect_samples(task)
+            ahc, losses = self.train_comparator(measured)
+            top = self.rank(ahc)
+            best, scores = self.train_final(task, top)
+            handle.set(best=best.key())
         return AutoCTSPlusResult(
             best=best,
             best_scores=scores,

@@ -9,12 +9,15 @@ population at ``kp``; and the final answer is the Round-Robin top-``K``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..comparator.scoring import sanitize_win_matrix
+from ..obs.heartbeat import heartbeat
+from ..obs.trace import span
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
 from .round_robin import round_robin_top_k
@@ -75,13 +78,14 @@ class EvolutionarySearch:
         self.comparisons = 0
 
     def _rank(self, candidates: list[ArchHyper], k: int) -> list[ArchHyper]:
-        wins = self.compare(candidates)
-        self.comparisons += len(candidates) * (len(candidates) - 1)
-        # The guard is centralized in repro.comparator.scoring (a no-op for
-        # RankingEngine output, which is sanitized at the source; it protects
-        # Round-Robin from NaNs produced by custom CompareFns).
-        wins = sanitize_win_matrix(wins)
-        return [candidates[i] for i in round_robin_top_k(wins, k)]
+        with span("rank", candidates=len(candidates), k=k):
+            wins = self.compare(candidates)
+            self.comparisons += len(candidates) * (len(candidates) - 1)
+            # The guard is centralized in repro.comparator.scoring (a no-op for
+            # RankingEngine output, which is sanitized at the source; it
+            # protects Round-Robin from NaNs produced by custom CompareFns).
+            wins = sanitize_win_matrix(wins)
+            return [candidates[i] for i in round_robin_top_k(wins, k)]
 
     def _offspring(self, population: list[ArchHyper]) -> ArchHyper:
         rng = self._rng
@@ -109,23 +113,42 @@ class EvolutionarySearch:
         config = self.config
         if checkpoint is not None:
             checkpoint.meta = {"config": asdict(config), "seed": self.seed}
-        population, start_generation = self._restore(checkpoint)
-        if population is None:
-            if initial is None:
-                initial = self.space.sample_batch(config.initial_samples, self._rng)
-            population = self._rank(initial, config.population_size)
-            self._save(checkpoint, 0, population)
-        for generation in range(start_generation, config.generations):
-            seen = {ah.key() for ah in population}
-            offspring: list[ArchHyper] = []
-            while len(offspring) < config.offspring_per_generation:
-                child = self._offspring(population)
-                if child.key() not in seen:
-                    seen.add(child.key())
-                    offspring.append(child)
-            population = self._rank(population + offspring, config.population_size)
-            self._save(checkpoint, generation + 1, population)
-        top = self._rank(population, min(config.top_k, len(population)))
+        started = time.monotonic()
+        with span(
+            "evolution",
+            generations=config.generations,
+            population=config.population_size,
+        ):
+            population, start_generation = self._restore(checkpoint)
+            if population is None:
+                if initial is None:
+                    initial = self.space.sample_batch(
+                        config.initial_samples, self._rng
+                    )
+                population = self._rank(initial, config.population_size)
+                self._save(checkpoint, 0, population)
+            for generation in range(start_generation, config.generations):
+                with span("generation", index=generation):
+                    seen = {ah.key() for ah in population}
+                    offspring: list[ArchHyper] = []
+                    while len(offspring) < config.offspring_per_generation:
+                        child = self._offspring(population)
+                        if child.key() not in seen:
+                            seen.add(child.key())
+                            offspring.append(child)
+                    population = self._rank(
+                        population + offspring, config.population_size
+                    )
+                self._save(checkpoint, generation + 1, population)
+                heartbeat(
+                    "evolution",
+                    lambda: (
+                        f"evolution {time.monotonic() - started:.0f}s elapsed; "
+                        f"generation {generation + 1}/{config.generations}; "
+                        f"{self.comparisons} comparisons"
+                    ),
+                )
+            top = self._rank(population, min(config.top_k, len(population)))
         return EvolutionResult(
             top_candidates=top,
             final_population=population,

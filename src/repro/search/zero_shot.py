@@ -28,6 +28,7 @@ from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..embedding.task_encoder import PreliminaryEmbedder, preliminary_task_embedding
 from ..metrics import ForecastScores
+from ..obs.trace import span
 from ..space.archhyper import ArchHyper
 from ..space.sampling import JointSearchSpace
 from ..tasks.task import Task
@@ -187,17 +188,24 @@ class ZeroShotSearch:
     ) -> ZeroShotResult:
         """Run Algorithm 2 end to end on an unseen task."""
         timings = PhaseTimings()
-        start = time.perf_counter()
-        preliminary = self.embed_task(task)
-        timings.embedding = time.perf_counter() - start
+        with span("search", method="zero-shot", task=task.name) as handle:
+            start = time.perf_counter()
+            with span("embedding", task=task.name):
+                preliminary = self.embed_task(task)
+            timings.embedding = time.perf_counter() - start
 
-        start = time.perf_counter()
-        top, comparisons = self.rank(preliminary, initial, checkpoint=ranking_checkpoint)
-        timings.ranking = time.perf_counter() - start
+            start = time.perf_counter()
+            with span("ranking", task=task.name):
+                top, comparisons = self.rank(
+                    preliminary, initial, checkpoint=ranking_checkpoint
+                )
+            timings.ranking = time.perf_counter() - start
 
-        start = time.perf_counter()
-        best, scores, candidate_scores = self.train_final(task, top)
-        timings.training = time.perf_counter() - start
+            start = time.perf_counter()
+            with span("training", task=task.name, candidates=len(top)):
+                best, scores, candidate_scores = self.train_final(task, top)
+            timings.training = time.perf_counter() - start
+            handle.set(best=best.key(), comparisons=comparisons)
 
         return ZeroShotResult(
             best=best,

@@ -1,0 +1,452 @@
+"""Unit suite for the telemetry layer: tracing, metrics, heartbeat, profiling.
+
+The contract under test throughout: telemetry observes, it never feeds
+computation — disabled hooks are inert, enabled hooks only accumulate
+counts/timings and span records.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.module import Module, Parameter
+from repro.obs import (
+    Heartbeat,
+    MetricsRegistry,
+    Tracer,
+    build_tree,
+    configure_heartbeat,
+    configure_tracing,
+    file_tracer,
+    get_registry,
+    global_registry,
+    heartbeat,
+    load_trace,
+    metrics_scope,
+    profile,
+    profiling_enabled,
+    render_report,
+    span,
+    stage_rollup,
+    tracer_scope,
+    tracing_enabled,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Keep the process-wide tracer/heartbeat state out of other tests."""
+    configure_tracing(None)
+    configure_heartbeat(False)
+    yield
+    configure_tracing(None)
+    configure_heartbeat(False)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nested_spans_link_parents(self):
+        records = []
+        tracer = Tracer(records.append)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.id != outer.id
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner_rec, outer_rec = records
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+
+    def test_span_attrs_and_set(self):
+        records = []
+        tracer = Tracer(records.append)
+        with tracer.span("work", fixed=1) as handle:
+            handle.set(late=2)
+        assert records[0]["attrs"] == {"fixed": 1, "late": 2}
+
+    def test_exception_sets_error_attr_and_reraises(self):
+        records = []
+        tracer = Tracer(records.append)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert records[0]["attrs"]["error"] == "ValueError"
+
+    def test_durations_are_nonnegative_and_versioned(self):
+        records = []
+        tracer = Tracer(records.append)
+        with tracer.span("t"):
+            pass
+        assert records[0]["dur"] >= 0.0
+        assert records[0]["v"] == TRACE_SCHEMA_VERSION
+
+    def test_relay_grafts_roots_and_keeps_subtree(self):
+        worker_records = []
+        worker = Tracer(worker_records.append)
+        with worker.span("eval"):
+            with worker.span("train-forecaster"):
+                pass
+        parent_records = []
+        parent = Tracer(parent_records.append)
+        parent.relay(worker_records, parent_id="p.0.0", root_attrs={"attempt": 2})
+        by_name = {r["name"]: r for r in parent_records}
+        assert by_name["eval"]["parent"] == "p.0.0"
+        assert by_name["eval"]["attrs"]["attempt"] == 2
+        # The child keeps its worker-local parent link (the relayed eval id).
+        assert by_name["train-forecaster"]["parent"] == by_name["eval"]["id"]
+
+    def test_ambient_span_is_noop_when_disabled(self):
+        assert not tracing_enabled()
+        with span("anything", attr=1) as handle:
+            handle.set(more=2)  # goes nowhere, must not raise
+        assert handle.id is None
+
+    def test_tracer_scope_overrides_and_restores(self):
+        records = []
+        with tracer_scope(Tracer(records.append)):
+            assert tracing_enabled()
+            with span("scoped"):
+                pass
+        assert not tracing_enabled()
+        assert records[0]["name"] == "scoped"
+
+    def test_tracer_scope_none_forces_off(self):
+        records = []
+        with tracer_scope(Tracer(records.append)):
+            with tracer_scope(None):
+                assert not tracing_enabled()
+                with span("invisible"):
+                    pass
+        assert records == []
+
+
+class TestTraceFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = file_tracer(path)
+        with tracer_scope(tracer):
+            with span("a", x=1):
+                with span("b"):
+                    pass
+        tracer.close()
+        trace = load_trace(path)
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert [s["name"] for s in trace.spans] == ["b", "a"]
+        assert trace.skipped_lines == 0
+
+    def test_unparseable_lines_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        tracer = file_tracer(path)
+        with tracer.span("ok"):
+            pass
+        tracer.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "kind": "span", "id": "x", truncated\n')
+        trace = load_trace(path)
+        assert len(trace.spans) == 1
+        assert trace.skipped_lines == 1
+
+    def test_future_schema_rejected_loudly(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        record = {"v": TRACE_SCHEMA_VERSION + 1, "kind": "span", "id": "x"}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_trace(path)
+
+    def test_configure_tracing_installs_and_removes(self, tmp_path):
+        path = tmp_path / "ambient.jsonl"
+        configure_tracing(path)
+        assert tracing_enabled()
+        with span("ambient"):
+            pass
+        configure_tracing(None)
+        assert not tracing_enabled()
+        trace = load_trace(path)
+        assert [s["name"] for s in trace.spans] == ["ambient"]
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["c"]["value"] == 3.5
+        assert snap["g"]["value"] == 7.0
+        assert snap["h"] == {
+            "kind": "histogram", "count": 2, "total": 4.0,
+            "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_parent_propagation(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.counter("n").inc(3)
+        child.histogram("h").observe(2.0)
+        assert parent.counter("n").value == 3.0
+        assert parent.histogram("h").count == 1
+        # Parent-side updates do NOT flow down.
+        parent.counter("n").inc()
+        assert child.counter("n").value == 3.0
+
+    def test_merge_snapshot(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(2)
+        source.gauge("g").set(5)
+        source.histogram("h").observe(1.0)
+        target = MetricsRegistry()
+        target.counter("c").inc(1)
+        target.histogram("h").observe(4.0)
+        target.merge(source.snapshot())
+        snap = target.snapshot()
+        assert snap["c"]["value"] == 3.0
+        assert snap["g"]["value"] == 5.0
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 4.0
+
+    def test_metrics_scope_isolates_and_restores(self):
+        assert get_registry() is global_registry()
+        with metrics_scope() as inner:
+            assert get_registry() is inner
+            inner.counter("only.here").inc()
+        assert get_registry() is global_registry()
+        assert "only.here" not in global_registry().snapshot()
+
+    def test_render_formats_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(2)
+        registry.gauge("a.level").set(0.5)
+        registry.histogram("a.lat").observe(0.25)
+        text = registry.render()
+        assert "a.count: 2" in text
+        assert "a.level: 0.5" in text
+        assert "a.lat: n=1" in text
+        assert registry.render(prefix="b.") == ""
+
+
+class TestStatsMigration:
+    def test_eval_stats_attributes_and_report(self):
+        from repro.runtime.evaluator import EvalStats
+
+        with metrics_scope() as ambient:
+            stats = EvalStats()
+            stats.hits += 2
+            stats.misses += 1
+            stats.record_eval(0.5, queue_wait=0.1)
+            stats.batch_seconds += 0.75
+            stats.batches += 1
+            assert stats.hits == 2 and stats.misses == 1
+            assert stats.evaluations == 1
+            assert stats.hit_rate == pytest.approx(2 / 3)
+            report = stats.report()
+            assert "1 fresh, 2 cache hits" in report
+            assert "compute 0.50s, queue wait 0.10s" in report
+            # Local counts tee into the ambient registry.
+            snap = ambient.snapshot()
+            assert snap["eval.hits"]["value"] == 2.0
+            assert snap["eval.queue_wait_seconds"]["value"] == pytest.approx(0.1)
+
+    def test_eval_stats_instances_are_isolated(self):
+        from repro.runtime.evaluator import EvalStats
+
+        with metrics_scope():
+            one, two = EvalStats(), EvalStats()
+            one.misses += 5
+            assert two.misses == 0
+
+    def test_ranking_stats_attributes_and_report(self):
+        from repro.comparator.scoring import RankingStats
+
+        with metrics_scope() as ambient:
+            stats = RankingStats()
+            stats.embed_hits += 3
+            stats.embed_misses += 1
+            stats.pair_scores += 12
+            stats.win_matrices += 1
+            assert "1 win matrices" in stats.report()
+            assert "75% hit rate" in stats.report()
+            assert ambient.snapshot()["rank.pair_scores"]["value"] == 12.0
+
+
+# ---------------------------------------------------------------------------
+# Heartbeat
+# ---------------------------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_first_beat_only_arms(self):
+        lines, now = [], [0.0]
+        beat = Heartbeat(min_interval=10.0, sink=lines.append, clock=lambda: now[0])
+        assert not beat.beat("k", lambda: "one")
+        assert lines == []
+
+    def test_rate_limited_then_emits(self):
+        lines, now = [], [0.0]
+        beat = Heartbeat(min_interval=10.0, sink=lines.append, clock=lambda: now[0])
+        beat.beat("k", lambda: "armed")
+        now[0] = 5.0
+        assert not beat.beat("k", lambda: "too soon")
+        now[0] = 11.0
+        assert beat.beat("k", lambda: "due")
+        assert lines == ["[heartbeat] due"]
+        now[0] = 12.0
+        assert not beat.beat("k", lambda: "again too soon")
+
+    def test_force_bypasses_interval(self):
+        lines, now = [], [0.0]
+        beat = Heartbeat(min_interval=10.0, sink=lines.append, clock=lambda: now[0])
+        beat.beat("k", lambda: "armed")
+        assert beat.beat("k", lambda: "forced", force=True)
+        assert lines == ["[heartbeat] forced"]
+
+    def test_keys_are_independent(self):
+        lines, now = [], [0.0]
+        beat = Heartbeat(min_interval=10.0, sink=lines.append, clock=lambda: now[0])
+        beat.beat("a", lambda: "")
+        now[0] = 11.0
+        assert not beat.beat("b", lambda: "b arms separately")
+
+    def test_disabled_module_heartbeat_never_renders(self):
+        calls = []
+
+        def render():
+            calls.append(1)
+            return "never"
+
+        assert not heartbeat("k", render)
+        assert calls == []
+
+    def test_configured_heartbeat_emits_through_sink(self):
+        lines = []
+        configure_heartbeat(enabled=True, min_interval=0.0, sink=lines.append)
+        heartbeat("k", lambda: "armed")
+        assert heartbeat("k", lambda: "emitted")
+        assert lines == ["[heartbeat] emitted"]
+
+
+# ---------------------------------------------------------------------------
+# Profiling hooks
+# ---------------------------------------------------------------------------
+
+
+class _TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((3, 3), dtype=np.float64))
+
+    def forward(self, x):
+        return x @ self.weight
+
+
+class TestProfiling:
+    def test_disabled_by_default(self):
+        assert not profiling_enabled()
+        with metrics_scope() as registry:
+            _TinyNet()(Tensor(np.ones((2, 3))))
+        assert registry.snapshot() == {}
+
+    def test_forward_timing_attributed_to_module_path(self):
+        with metrics_scope() as registry, profile():
+            _TinyNet()(Tensor(np.ones((2, 3))))
+        snap = registry.snapshot()
+        assert snap["profile.forward._TinyNet.calls"]["value"] == 1.0
+        assert snap["profile.forward._TinyNet.seconds"]["value"] >= 0.0
+
+    def test_op_counts_forward_and_backward(self):
+        with metrics_scope() as registry, profile():
+            net = _TinyNet()
+            loss = (net(Tensor(np.ones((2, 3)))) * 2.0).sum()
+            loss.backward()
+        snap = registry.snapshot()
+        matmul_fwd = snap["profile.ops.matmul.forward"]["value"]
+        matmul_bwd = snap["profile.ops.matmul.backward"]["value"]
+        assert matmul_fwd == 1.0 and matmul_bwd == 1.0
+
+    def test_profiling_never_changes_outputs(self):
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        net = _TinyNet()
+        plain = net(Tensor(x)).numpy()
+        with metrics_scope(), profile():
+            profiled = net(Tensor(x)).numpy()
+        np.testing.assert_array_equal(plain, profiled)
+
+    def test_profile_context_restores_state(self):
+        with profile():
+            assert profiling_enabled()
+            with profile(enabled=False):
+                assert not profiling_enabled()
+            assert profiling_enabled()
+        assert not profiling_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+
+
+def _span_record(span_id, name, parent=None, dur=1.0, wall0=0.0, attrs=None):
+    return {
+        "v": 1, "kind": "span", "id": span_id, "parent": parent,
+        "name": name, "wall0": wall0, "dur": dur, "pid": 1,
+        "attrs": attrs or {},
+    }
+
+
+class TestReport:
+    def test_stage_rollup_aggregates_by_name(self):
+        spans = [
+            _span_record("1", "eval", dur=1.0),
+            _span_record("2", "eval", dur=3.0, attrs={"error": "X"}),
+            _span_record("3", "rank", dur=0.5),
+        ]
+        rollup = stage_rollup(spans)
+        assert rollup["eval"].count == 2
+        assert rollup["eval"].total == 4.0
+        assert rollup["eval"].max == 3.0
+        assert rollup["eval"].mean == 2.0
+        assert rollup["eval"].errors == 1
+        assert rollup["rank"].count == 1
+
+    def test_build_tree_promotes_orphans(self):
+        spans = [
+            _span_record("root", "search", wall0=1.0),
+            _span_record("kid", "eval", parent="root", wall0=2.0),
+            _span_record("lost", "eval", parent="never-closed", wall0=3.0),
+        ]
+        roots, children = build_tree(spans)
+        assert [r["id"] for r in roots] == ["root", "lost"]
+        assert [c["id"] for c in children["root"]] == ["kid"]
+
+    def test_render_report_end_to_end(self, tmp_path):
+        path = tmp_path / "report.jsonl"
+        tracer = file_tracer(path)
+        with tracer_scope(tracer):
+            with span("search", task="toy"):
+                with span("eval", candidate="cand-a", task="toy") as handle:
+                    handle.set(attempt=2, diverged=True)
+        tracer.close()
+        text = render_report(path)
+        assert "== per-stage rollup ==" in text
+        assert "== span tree ==" in text
+        assert "== candidate timeline ==" in text
+        assert "attempt 2" in text and "diverged" in text

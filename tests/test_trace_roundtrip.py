@@ -1,0 +1,176 @@
+"""Trace round-trip across process-pool workers.
+
+Satellite invariants of the telemetry PR:
+
+* serial and pool backends produce traces that agree on span counts — the
+  relay makes parallel evaluations appear exactly where serial ones would,
+* a crashed-then-retried worker evaluation appears in the trace exactly
+  once, with the retry attempt recorded (the crashed attempt's spans die
+  with the worker),
+* enabling tracing never changes a score, bitwise,
+* a written trace renders through the ``repro trace report`` CLI.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import configure_tracing, load_trace
+from repro.runtime import ProxyEvaluator
+
+from .test_faults import (
+    FAULT_BUDGET_ENV,
+    _candidates,
+    _no_sleep_policy,
+    _toy_task,
+    cheap_eval,
+    crashing_eval,
+    fault_env,  # noqa: F401  (fixture re-export)
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    configure_tracing(None)
+    yield
+    configure_tracing(None)
+
+
+def _traced_run(path, workers, eval_fn=cheap_eval, retry_policy=None, count=4):
+    configure_tracing(path)
+    try:
+        evaluator = ProxyEvaluator(
+            workers=workers, cache=None, eval_fn=eval_fn, retry_policy=retry_policy
+        )
+        scores = evaluator.evaluate_many(_candidates(count), _toy_task())
+    finally:
+        configure_tracing(None)
+    return scores, load_trace(path)
+
+
+class TestSerialVsPoolParity:
+    def test_span_counts_agree(self, tmp_path):
+        serial_scores, serial_trace = _traced_run(tmp_path / "serial.jsonl", 1)
+        pool_scores, pool_trace = _traced_run(tmp_path / "pool.jsonl", 2)
+        assert serial_scores == pool_scores
+        serial_counts = Counter(s["name"] for s in serial_trace.spans)
+        pool_counts = Counter(s["name"] for s in pool_trace.spans)
+        assert serial_counts == pool_counts
+        assert serial_counts["eval"] == 4
+        assert serial_counts["eval-batch"] == 1
+
+    def test_pool_worker_spans_graft_under_parent_batch(self, tmp_path):
+        _, trace = _traced_run(tmp_path / "pool.jsonl", 2)
+        batch = [s for s in trace.spans if s["name"] == "eval-batch"]
+        evals = [s for s in trace.spans if s["name"] == "eval"]
+        assert len(batch) == 1
+        assert all(s["parent"] == batch[0]["id"] for s in evals)
+        # Worker spans carry their own pid, distinct from the parent's.
+        assert all(s["pid"] != batch[0]["pid"] for s in evals)
+
+    def test_eval_spans_carry_candidate_and_attempt(self, tmp_path):
+        _, trace = _traced_run(tmp_path / "serial.jsonl", 1)
+        evals = [s for s in trace.spans if s["name"] == "eval"]
+        assert len(evals) == 4
+        for record in evals:
+            assert record["attrs"]["attempt"] == 1
+            assert "candidate" in record["attrs"]
+
+
+class TestCrashedWorkerRetry:
+    def test_pool_retry_records_attempt_and_fingerprint(self, fault_env, tmp_path):  # noqa: F811
+        from .test_faults import flaky_eval
+
+        fault_env.setenv(FAULT_BUDGET_ENV, "1")
+        scores, trace = _traced_run(
+            tmp_path / "flaky-pool.jsonl",
+            workers=2,
+            eval_fn=flaky_eval,
+            retry_policy=_no_sleep_policy(max_retries=2),
+            count=3,
+        )
+        reference = ProxyEvaluator(workers=1, cache=None, eval_fn=cheap_eval)
+        assert scores == reference.evaluate_many(_candidates(3), _toy_task())
+        evals = [s for s in trace.spans if s["name"] == "eval"]
+        # One span per job: the failed attempt's spans are never relayed.
+        assert len(evals) == 3
+        by_candidate = Counter(s["attrs"]["candidate"] for s in evals)
+        assert all(count == 1 for count in by_candidate.values())
+        # Exactly one evaluation needed a retry, and it is recorded.
+        assert sorted(s["attrs"]["attempt"] for s in evals) == [1, 1, 2]
+        assert all("fingerprint" in s["attrs"] for s in evals)
+
+    def test_killed_worker_spans_appear_exactly_once(self, fault_env, tmp_path):  # noqa: F811
+        # A hard worker death breaks the pool; the evaluator degrades the
+        # remaining jobs to the serial backend.  The dead worker's spans die
+        # with it, so every evaluation still appears exactly once.
+        fault_env.setenv(FAULT_BUDGET_ENV, "1")
+        scores, trace = _traced_run(
+            tmp_path / "crash.jsonl",
+            workers=2,
+            eval_fn=crashing_eval,
+            retry_policy=_no_sleep_policy(max_retries=2),
+            count=3,
+        )
+        reference = ProxyEvaluator(workers=1, cache=None, eval_fn=cheap_eval)
+        assert scores == reference.evaluate_many(_candidates(3), _toy_task())
+        evals = [s for s in trace.spans if s["name"] == "eval"]
+        assert len(evals) == 3
+        by_candidate = Counter(s["attrs"]["candidate"] for s in evals)
+        assert all(count == 1 for count in by_candidate.values())
+
+    def test_serial_retry_also_records_attempt(self, fault_env, tmp_path):  # noqa: F811
+        from .test_faults import flaky_eval
+
+        fault_env.setenv(FAULT_BUDGET_ENV, "1")
+        _, trace = _traced_run(
+            tmp_path / "flaky.jsonl",
+            workers=1,
+            eval_fn=flaky_eval,
+            retry_policy=_no_sleep_policy(max_retries=2),
+            count=2,
+        )
+        evals = [s for s in trace.spans if s["name"] == "eval"]
+        assert len(evals) == 2
+        assert sorted(s["attrs"]["attempt"] for s in evals) == [1, 2]
+
+
+class TestTracingIsInert:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_scores_bitwise_identical_with_and_without_trace(self, tmp_path, workers):
+        untraced = ProxyEvaluator(workers=workers, cache=None, eval_fn=cheap_eval)
+        plain = untraced.evaluate_many(_candidates(4), _toy_task())
+        traced, _ = _traced_run(tmp_path / "traced.jsonl", workers)
+        assert plain == traced
+
+    def test_queue_wait_and_compute_split_in_registry(self, tmp_path):
+        evaluator = ProxyEvaluator(workers=2, cache=None, eval_fn=cheap_eval)
+        evaluator.evaluate_many(_candidates(4), _toy_task())
+        snap = evaluator.stats.registry.snapshot()
+        assert snap["eval.compute_seconds"]["value"] > 0.0
+        assert snap["eval.queue_wait_seconds"]["value"] >= 0.0
+        assert evaluator.stats.compute_seconds == pytest.approx(
+            snap["eval.compute_seconds"]["value"]
+        )
+        assert "(compute " in evaluator.stats.report()
+
+
+class TestTraceReportCLI:
+    def test_report_renders_written_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path, 1)
+        assert cli_main(["trace", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== per-stage rollup ==" in out
+        assert "eval-batch" in out
+        assert "== candidate timeline ==" in out
+
+    def test_report_max_depth(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path, 1)
+        assert cli_main(["trace", "report", str(path), "--max-depth", "0"]) == 0
+        out = capsys.readouterr().out
+        tree = out.split("== span tree ==")[1].split("== candidate timeline ==")[0]
+        assert "eval-batch" in tree  # the root survives
+        assert "\n  " not in tree.strip("\n")  # children below depth 0 pruned
