@@ -27,6 +27,7 @@ import numpy as np
 
 from ..obs.profile import profiling_enabled, record_op
 from .anomaly import anomaly_enabled, op_name_of, raise_non_finite
+from .pool import pool_paused
 
 DEFAULT_DTYPE = np.float32
 
@@ -147,25 +148,53 @@ class Tensor:
 
         order = _topological_order(self)
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Gradients flowing to a tensor used several times accumulate with
+        # ``+``.  The first contribution is stored by reference (the closure
+        # may have handed us a view of another gradient, so it is not ours to
+        # mutate); the second allocates the sum once and marks the entry
+        # *owned*; contributions beyond that add in place into the owned
+        # buffer — no further allocation for residual-style fan-out.
+        owned: set[int] = set()
+        with pool_paused():
+            self._run_backward(order, grads, owned)
+
+    def _run_backward(
+        self,
+        order: "list[Tensor]",
+        grads: dict[int, np.ndarray],
+        owned: set[int],
+    ) -> None:
+        # Backward runs with the buffer pool paused: gradient temporaries
+        # are transient, and the allocator's immediate reuse beats recycled
+        # pool buffers on cache locality (see repro.autodiff.pool).
+        profiled = profiling_enabled()
+        check = anomaly_enabled()
         for node in order:
             node_grad = grads.pop(id(node), None)
+            owned.discard(id(node))
             if node_grad is None:
                 continue
             if node.requires_grad and node._backward is None:
-                # A leaf: accumulate into .grad.
+                # A leaf: accumulate into .grad (in place once it exists —
+                # the initial ``.copy()`` makes the buffer the tensor's own).
                 if node.grad is None:
                     node.grad = node_grad.copy()
+                elif (
+                    node.grad.shape == node_grad.shape
+                    and node.grad.dtype == node_grad.dtype
+                    and node.grad.flags.writeable
+                ):
+                    np.add(node.grad, node_grad, out=node.grad)
                 else:
                     node.grad = node.grad + node_grad
             if node._backward is not None:
                 parent_grads = node._backward(node_grad)
-                if profiling_enabled():
+                if profiled:
                     record_op(
                         node._op or op_name_of(node._backward), "backward"
                     )
                 if parent_grads is None:
                     continue
-                check = anomaly_enabled()
                 for parent, pgrad in zip(node._parents, parent_grads):
                     if pgrad is None or not _needs_grad(parent):
                         continue
@@ -178,7 +207,16 @@ class Tensor:
                         )
                     key = id(parent)
                     if key in grads:
-                        grads[key] = grads[key] + pgrad
+                        existing = grads[key]
+                        if (
+                            key in owned
+                            and existing.shape == pgrad.shape
+                            and existing.dtype == pgrad.dtype
+                        ):
+                            np.add(existing, pgrad, out=existing)
+                        else:
+                            grads[key] = existing + pgrad
+                            owned.add(key)
                     else:
                         grads[key] = pgrad
 

@@ -15,12 +15,14 @@ rather than a crash three epochs in.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..autodiff import Tensor, no_grad
+from ..autodiff.pool import BufferPool, pooling_allowed
 from ..data.windows import WindowSet, iterate_batches
 from ..metrics import ForecastScores, evaluate_forecast
 from ..nn.loss import mae_loss
@@ -43,6 +45,9 @@ class TrainConfig:
     patience: int = 5
     seed: int = 0
     health: HealthConfig = field(default_factory=HealthConfig)
+    # Recycle forward/gradient buffers across steps (see repro.autodiff.pool).
+    # Score-inert: pooled training is bitwise-identical to pool-off training.
+    buffer_pool: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -92,6 +97,11 @@ def train_forecaster(
     best_state: dict[str, np.ndarray] | None = None
     epochs_without_improvement = 0
     step = 0
+    # The pool is scoped strictly to the per-batch training step: buffers
+    # handed out inside `pool.step()` are reclaimed one generation later, and
+    # validation/inference below runs with no pool active, so arrays that
+    # outlive a step (val predictions, checkpoints) are never recycled.
+    pool = BufferPool() if config.buffer_pool and pooling_allowed() else None
     with span(
         "train-forecaster", epochs=config.epochs
     ) as train_span, np.errstate(over="ignore", invalid="ignore", divide="ignore"):
@@ -99,25 +109,30 @@ def train_forecaster(
             model.train()
             epoch_losses = []
             for x, y in iterate_batches(train_windows, config.batch_size, rng=rng):
-                optimizer.zero_grad()
-                loss = mae_loss(model(Tensor(x)), y)
-                loss_value = loss.item()
-                step += 1
-                if monitor is not None and not monitor.check_loss(
-                    epoch, step, loss_value
-                ):
-                    continue
-                loss.backward()
-                if config.grad_clip:
-                    norm = clip_grad_norm(optimizer.parameters, config.grad_clip)
-                else:
-                    norm = grad_norm(optimizer.parameters) if monitor else 0.0
-                if monitor is not None and not monitor.check_grads(epoch, step, norm):
-                    continue
-                optimizer.step()
-                if monitor is not None:
-                    monitor.step_ok()
-                epoch_losses.append(loss_value)
+                with pool.step() if pool is not None else nullcontext():
+                    optimizer.zero_grad()
+                    loss = mae_loss(model(Tensor(x)), y)
+                    loss_value = loss.item()
+                    step += 1
+                    if monitor is not None and not monitor.check_loss(
+                        epoch, step, loss_value
+                    ):
+                        continue
+                    loss.backward()
+                    if config.grad_clip:
+                        norm = clip_grad_norm(optimizer.parameters, config.grad_clip)
+                    else:
+                        norm = grad_norm(optimizer.parameters) if monitor else 0.0
+                    if monitor is not None and not monitor.check_grads(
+                        epoch, step, norm
+                    ):
+                        continue
+                    optimizer.step()
+                    if monitor is not None:
+                        monitor.step_ok()
+                    epoch_losses.append(loss_value)
+            if pool is not None:
+                pool.drain()
             result.train_losses.append(
                 float(np.mean(epoch_losses)) if epoch_losses else float("inf")
             )

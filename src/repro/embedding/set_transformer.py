@@ -77,7 +77,7 @@ class SetPool(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.resolve_rng(rng)
         heads = num_heads if out_dim % num_heads == 0 else 1
         self.project = Linear(in_dim, out_dim, rng=rng)
         self.sab = SAB(out_dim, heads, rng)

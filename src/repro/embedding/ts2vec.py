@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..autodiff import Tensor, amax, log_softmax, no_grad
+from ..nn import init
 from ..nn.conv import Conv1d
 from ..nn.linear import Linear
 from ..nn.module import Module, ModuleList
@@ -54,7 +55,7 @@ class TS2VecEncoder(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.resolve_rng(rng)
         self.input_proj = Linear(input_dim, hidden_dim, rng=rng)
         self.blocks = ModuleList(
             DilatedConvBlock(hidden_dim, dilation=2**i, rng=rng) for i in range(depth)

@@ -45,7 +45,7 @@ class MultiHeadAttention(Module):
         super().__init__()
         if dim % num_heads != 0:
             raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.resolve_rng(rng)
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
@@ -100,7 +100,7 @@ class ProbSparseAttention(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.resolve_rng(rng)
         self.factor = factor
         self.inner = MultiHeadAttention(dim, num_heads, dropout, rng=rng)
 

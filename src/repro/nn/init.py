@@ -3,6 +3,12 @@
 All initializers take an explicit ``numpy.random.Generator`` so that model
 construction is fully deterministic under a seed — a requirement for the
 reproducibility experiments.
+
+Layers accept ``rng=None`` for convenience; :func:`resolve_rng` turns that
+into the documented default stream (seed ``DEFAULT_INIT_SEED``) in one
+place, so "unseeded" layer construction is explicit, reproducible, and
+greppable rather than an inline ``np.random.default_rng(0)`` scattered per
+constructor.
 """
 
 from __future__ import annotations
@@ -10,6 +16,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff.tensor import DEFAULT_DTYPE
+
+# The seed behind every ``rng=None`` layer construction.  Explicitly seeded
+# experiments should pass their own generator (usually via
+# ``repro.utils.seeding.derive_rng``) instead of relying on this.
+DEFAULT_INIT_SEED = 0
+
+
+def resolve_rng(rng: np.random.Generator | None) -> np.random.Generator:
+    """Pass an explicit generator through; ``None`` becomes a fresh
+    seed-``DEFAULT_INIT_SEED`` generator (the documented layer default)."""
+    return rng if rng is not None else np.random.default_rng(DEFAULT_INIT_SEED)
 
 
 def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...], gain: float = 1.0) -> np.ndarray:

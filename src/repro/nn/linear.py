@@ -20,7 +20,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.resolve_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform(rng, (out_features, in_features)))
@@ -45,7 +45,7 @@ class MLP(Module):
         super().__init__()
         if len(sizes) < 2:
             raise ValueError("MLP needs at least an input and an output size")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = init.resolve_rng(rng)
         from .module import ModuleList
 
         self.layers = ModuleList(

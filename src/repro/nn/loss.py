@@ -9,12 +9,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor, absolute, as_tensor, mean
+from ..autodiff.fused import fused_kernels_enabled, mean_absolute_error
 from ..autodiff.tensor import make_op
 
 
 def mae_loss(prediction: Tensor, target) -> Tensor:
     """Mean absolute error, the paper's forecasting training objective."""
     target = as_tensor(target)
+    if fused_kernels_enabled():
+        return mean_absolute_error(prediction, target)
+    # Unfused chain: bitwise-identical; kept for anomaly-mode provenance and
+    # the $REPRO_REFERENCE_KERNELS benchmark baseline.
     return mean(absolute(prediction - target))
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..nn import init
 from ..nn.module import Module
 
 
@@ -24,7 +25,7 @@ class OperatorContext:
     n_nodes: int
     supports: list[np.ndarray] = field(default_factory=list)
     dropout_rate: float = 0.0
-    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    rng: np.random.Generator = field(default_factory=lambda: init.resolve_rng(None))
 
     def __post_init__(self) -> None:
         if self.hidden_dim <= 0 or self.n_nodes <= 0:

@@ -9,6 +9,7 @@ captures short-term temporal dependencies without leaking the future.
 from __future__ import annotations
 
 from ..autodiff import Tensor
+from ..autodiff.fused import fused_kernels_enabled, gated_tanh_sigmoid
 from ..nn.conv import CausalConv2d
 from ..nn.dropout import Dropout
 from .base import OperatorContext, STOperator
@@ -35,6 +36,11 @@ class GDCC(STOperator):
         )
 
     def forward(self, x: Tensor) -> Tensor:
+        if fused_kernels_enabled():
+            gated = gated_tanh_sigmoid(self.filter_conv(x), self.gate_conv(x))
+            return self.dropout(gated)
+        # Unfused chain: bitwise-identical; kept for anomaly-mode per-op
+        # provenance and the $REPRO_REFERENCE_KERNELS benchmark baseline.
         filtered = self.filter_conv(x).tanh()
         gate = self.gate_conv(x).sigmoid()
         return self.dropout(filtered * gate)

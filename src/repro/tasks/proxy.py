@@ -43,6 +43,10 @@ class ProxyConfig:
     lr: float = 1e-3
     weight_decay: float = 1e-4
     seed: int = 0
+    # Score-inert performance knob: pooled proxy training produces bitwise
+    # identical scores, so this field is excluded from eval-cache
+    # fingerprints (see repro.runtime.fingerprint.proxy_fingerprint).
+    buffer_pool: bool = True
 
     def train_config(self, epochs: int | None = None) -> TrainConfig:
         """Materialize the proxy's training configuration."""
@@ -54,6 +58,7 @@ class ProxyConfig:
             weight_decay=self.weight_decay,
             patience=max(chosen, 1),
             seed=self.seed,
+            buffer_pool=self.buffer_pool,
         )
 
 
@@ -108,6 +113,7 @@ def full_train_score(
             weight_decay=config.weight_decay,
             patience=max(3, epochs // 4),
             seed=config.seed,
+            buffer_pool=config.buffer_pool,
         ),
     )
     windows = prepared.test if return_test else prepared.val
