@@ -9,6 +9,9 @@ Subcommands:
 * ``search`` — run the zero-shot AutoCTS++ search on a target dataset
   (pre-training the T-AHC first if it is not cached),
 * ``autocts`` — run the fully-supervised AutoCTS+ search (per-task AHC),
+* ``serve`` — run the search service: an HTTP API plus worker daemons over
+  a persistent sqlite job registry (see ``docs/service.md``),
+* ``submit`` — submit a job to a running service and optionally wait,
 * ``trace`` — render a ``--trace`` JSONL file as a per-stage rollup, span
   tree, and per-candidate timeline.
 
@@ -114,8 +117,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     from .autodiff import set_anomaly_default
-    from .experiments import SCALES, pretrain_variant, run_zero_shot, target_task
+    from .experiments import SCALES, pretrain_variant, target_task
     from .runtime import configure_default_evaluator, default_checkpoint_dir
+    from .service import Engine
 
     if args.anomaly_mode:
         # Also exported via $REPRO_ANOMALY so pool workers inherit the mode.
@@ -144,15 +148,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     setting = scale.setting(args.setting)
     task = target_task(scale, args.dataset, setting, seed=args.seed)
+    # The same Engine facade the service daemon runs behind, so the CLI and
+    # the HTTP API cannot drift apart (bitwise-identical rankings).
+    engine = Engine(artifacts, scale, checkpoint_dir=checkpoint_dir)
     print(f"zero-shot search on {task.name}...")
-    result = run_zero_shot(
-        artifacts,
-        task,
-        scale,
-        seed=args.seed,
-        checkpoint_dir=checkpoint_dir,
-        resume=args.resume,
-    )
+    result = engine.search_task(task, seed=args.seed, resume=args.resume)
     print(f"searched: {result.best.hyper}")
     print(f"          {result.best.arch}")
     print(
@@ -222,6 +222,123 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     print(render_report(args.path, max_depth=args.max_depth))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the search service: HTTP API + worker daemon(s), one process."""
+    import time
+
+    from .experiments import SCALES, pretrain_variant
+    from .runtime import default_checkpoint_dir
+    from .service import Daemon, Engine, ServiceAPI, ServiceDB
+
+    trace_path = _configure_observability(args)
+    scale = SCALES[args.scale]
+    print(f"pre-training '{args.variant}' artifacts at scale '{scale.name}'...")
+    artifacts = pretrain_variant(scale, args.variant, seed=args.seed)
+    engine = Engine(
+        artifacts,
+        scale,
+        checkpoint_dir=default_checkpoint_dir(),
+        artifact_dir=args.artifact_dir,
+        cache_enabled=not args.no_eval_cache,
+    )
+    db = ServiceDB(args.db)
+    daemons = [
+        Daemon(db, engine).start(recover=(index == 0))
+        for index in range(args.daemons)
+    ]
+    api = ServiceAPI(db, engine, host=args.host, port=args.port).start()
+    print(f"engine {engine.fingerprint[:16]} (registry: {db.path})")
+    print(f"serving on {api.address} ({args.daemons} worker daemon(s))")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down...")
+    finally:
+        api.stop()
+        for daemon in daemons:
+            daemon.stop()
+        _finish_observability(args, trace_path)
+    return 0
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    url = args.url or os.environ.get("REPRO_SERVICE_URL") or "http://127.0.0.1:8737"
+    return url.rstrip("/")
+
+
+def _http_json(url: str, payload=None, tenant: str | None = None):
+    """POST (or GET when ``payload`` is None) JSON; returns (status, body)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Repro-Tenant"] = tenant
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read())
+        except Exception:
+            return exc.code, {"error": str(exc)}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running service; optionally wait for the result."""
+    import json
+    import time
+
+    base = _service_url(args)
+    payload = {
+        "kind": args.kind,
+        "task": {
+            "dataset": args.dataset,
+            "p": args.p,
+            "q": args.q,
+            "seed": args.seed,
+        },
+        "options": json.loads(args.options) if args.options else {},
+        "runtime": json.loads(args.runtime) if args.runtime else {},
+    }
+    if args.sync:
+        if args.kind != "rank":
+            print("--sync only supports kind 'rank'", file=sys.stderr)
+            return 2
+        status, body = _http_json(base + "/rank", payload, tenant=args.tenant)
+        print(json.dumps(body, indent=2))
+        return 0 if status == 200 else 1
+    status, body = _http_json(base + "/jobs", payload, tenant=args.tenant)
+    if status not in (200, 202):
+        print(json.dumps(body, indent=2), file=sys.stderr)
+        return 1
+    job = body["job"]
+    print(
+        f"job {job['id']} [{job['status']}] "
+        f"fingerprint {job['fingerprint'][:16]}"
+        + (" (deduped)" if body.get("deduped") else "")
+    )
+    if not args.wait:
+        return 0
+    while True:
+        status, body = _http_json(base + f"/jobs/{job['id']}")
+        if status != 200:
+            print(json.dumps(body, indent=2), file=sys.stderr)
+            return 1
+        state = body["job"]["status"]
+        if state == "done":
+            print(json.dumps(body.get("result"), indent=2))
+            return 0
+        if state == "failed":
+            print(f"job failed: {body['job'].get('error')}", file=sys.stderr)
+            return 1
+        time.sleep(args.poll)
 
 
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
@@ -373,6 +490,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_args(autocts)
     autocts.set_defaults(func=_cmd_autocts)
+
+    serve = sub.add_parser(
+        "serve", help="run the search service (HTTP API + worker daemon)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8737,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument("--scale", default="smoke", choices=("tiny", "smoke"))
+    serve.add_argument(
+        "--variant", default="full", help="pre-trained T-AHC variant to serve"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--db",
+        default=None,
+        help="registry sqlite path (default: $REPRO_SERVICE_DB or "
+        "benchmarks/.service/registry.sqlite)",
+    )
+    serve.add_argument(
+        "--daemons", type=int, default=1, help="worker daemon threads"
+    )
+    serve.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="directory for trained-forecaster artifacts from 'train' jobs",
+    )
+    serve.add_argument(
+        "--no-eval-cache",
+        action="store_true",
+        help="disable the on-disk proxy-evaluation score cache",
+    )
+    _add_observability_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a job to a running service")
+    submit.add_argument("dataset", help="registered dataset name for the task")
+    submit.add_argument(
+        "--kind", default="rank", choices=("rank", "collect", "train")
+    )
+    submit.add_argument("--p", type=int, default=6)
+    submit.add_argument("--q", type=int, default=6)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--url",
+        default=None,
+        help="service base URL (default: $REPRO_SERVICE_URL or "
+        "http://127.0.0.1:8737)",
+    )
+    submit.add_argument("--tenant", default=None, help="tenant identity header")
+    submit.add_argument(
+        "--options",
+        default=None,
+        metavar="JSON",
+        help="job options as a JSON object (e.g. '{\"top_k\": 2}')",
+    )
+    submit.add_argument(
+        "--runtime",
+        default=None,
+        metavar="JSON",
+        help="per-job runtime overrides as a JSON object "
+        "(e.g. '{\"divergence_policy\": \"raise\"}')",
+    )
+    submit.add_argument(
+        "--sync",
+        action="store_true",
+        help="use the synchronous POST /rank path (kind 'rank' only)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the job until it finishes and print the result",
+    )
+    submit.add_argument(
+        "--poll", type=float, default=0.5, help="poll interval for --wait"
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     trace = sub.add_parser("trace", help="inspect a --trace JSONL file")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

@@ -47,7 +47,10 @@ class TrainConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
     # Recycle forward/gradient buffers across steps (see repro.autodiff.pool).
     # Score-inert: pooled training is bitwise-identical to pool-off training.
-    buffer_pool: bool = True
+    # Tri-state: None resolves $REPRO_BUFFER_POOL at use time (default on);
+    # an explicit bool — e.g. a per-job override threaded through a service
+    # payload — wins over the environment.
+    buffer_pool: bool | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -101,7 +104,10 @@ def train_forecaster(
     # handed out inside `pool.step()` are reclaimed one generation later, and
     # validation/inference below runs with no pool active, so arrays that
     # outlive a step (val predictions, checkpoints) are never recycled.
-    pool = BufferPool() if config.buffer_pool and pooling_allowed() else None
+    pool_wanted = (
+        config.buffer_pool if config.buffer_pool is not None else pooling_allowed()
+    )
+    pool = BufferPool() if pool_wanted else None
     with span(
         "train-forecaster", epochs=config.epochs
     ) as train_span, np.errstate(over="ignore", invalid="ignore", divide="ignore"):

@@ -103,17 +103,23 @@ class ZeroShotSearch:
         preliminary: np.ndarray,
         initial: list[ArchHyper] | None = None,
         checkpoint: "Checkpoint | None" = None,
+        engine: RankingEngine | None = None,
     ) -> tuple[list[ArchHyper], int]:
         """Phase 2: evolutionary ranking under the task-conditioned T-AHC.
 
         The comparator is wrapped in a :class:`RankingEngine` scoped to this
         call: the refined task embedding E' is computed once for the whole
         evolution (not once per generation), and population survivors keep
-        their GIN embeddings cached across generations.
+        their GIN embeddings cached across generations.  A caller may hand
+        in its own ``engine`` (the service layer keeps one per task so
+        candidate embeddings are encoded once *across requests*, not just
+        across generations); cached embeddings are bitwise-identical to
+        fresh ones, so the ranking is unchanged.
         """
-        engine = RankingEngine(
-            self.model, preliminary=preliminary, space=self.space.hyper_space
-        )
+        if engine is None:
+            engine = RankingEngine(
+                self.model, preliminary=preliminary, space=self.space.hyper_space
+            )
         search = EvolutionarySearch(
             self.space, engine, self.config.evolution, seed=self.config.seed
         )

@@ -1,0 +1,288 @@
+"""The HTTP face of the service: a stdlib ``ThreadingHTTPServer``.
+
+No web framework — the repo's no-new-dependencies rule extends to the
+service layer, and ``http.server`` plus JSON bodies covers everything the
+protocol needs.  Routes:
+
+* ``GET  /health``        — liveness, engine fingerprint, queue counts
+* ``GET  /metrics``       — process-wide metrics snapshot
+* ``POST /jobs``          — enqueue a job (``202``; ``200`` when deduped)
+* ``GET  /jobs``          — list jobs (``?status=pending`` filters)
+* ``GET  /jobs/<id>``     — one job, with its result inlined once done
+* ``POST /jobs/<id>/requeue`` — send a failed job back to the queue
+* ``GET  /results/<fp>``  — a result body by content address
+* ``POST /rank``          — *synchronous* zero-shot ranking: the cheap,
+  comparator-only path answered in-request; duplicate submissions are
+  served from the registry with zero new model forwards
+
+Every validation failure is a :class:`~repro.service.protocol.ProtocolError`
+rendered as its status (4xx) with a JSON ``{"error": ...}`` body; unexpected
+executor failures render as 500 with the exception text.  The server is
+threading: a long synchronous ``/rank`` cannot block ``/health``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import global_registry
+from .db import RegistryError, ServiceDB, UnknownJobError
+from .engine import Engine
+from .jobs import execute_job
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_submit,
+    request_fingerprint,
+)
+
+logger = logging.getLogger(__name__)
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024  # inline series payloads can be large
+
+
+class ServiceAPI:
+    """The HTTP server bound to one registry and one engine.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after :meth:`start`) — that is what the e2e tests use to boot isolated
+    instances in parallel.
+    """
+
+    def __init__(
+        self,
+        db: ServiceDB,
+        engine: Engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.db = db
+        self.engine = engine
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        # Serializes synchronous /rank executions: the engine's rank cache
+        # is not thread-safe, and rank determinism is the product guarantee.
+        self._rank_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceAPI":
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-api:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # Route handlers (return (status, body) pairs)
+    # ------------------------------------------------------------------
+    def handle_health(self) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "engine": self.engine.fingerprint,
+            "jobs": self.db.counts(),
+        }
+
+    def handle_metrics(self) -> tuple[int, dict]:
+        return 200, {"metrics": global_registry().snapshot()}
+
+    def handle_submit(self, payload, tenant: str | None) -> tuple[int, dict]:
+        request = parse_submit(payload)
+        if tenant:
+            request = dataclasses.replace(request, tenant=tenant)
+        fingerprint = request_fingerprint(request, self.engine.fingerprint)
+        job, deduped = self.db.submit_job(
+            fingerprint,
+            request.kind,
+            {
+                "task": request.task_spec,
+                "options": request.options,
+                "runtime": payload.get("runtime") or {},
+                "tenant": request.tenant,
+            },
+            tenant=request.tenant,
+        )
+        body = {"job": job, "deduped": deduped}
+        result = self.db.get_result(fingerprint)
+        if result is not None:
+            body["result"] = result
+        return (200 if deduped else 202), body
+
+    def handle_job(self, job_id: str) -> tuple[int, dict]:
+        job = self.db.get_job(job_id)
+        body = {"job": job}
+        if job["status"] == "done":
+            result = self.db.get_result(job["fingerprint"])
+            if result is not None:
+                body["result"] = result
+        return 200, body
+
+    def handle_jobs(self, status: str | None) -> tuple[int, dict]:
+        return 200, {"jobs": self.db.list_jobs(status)}
+
+    def handle_requeue(self, job_id: str) -> tuple[int, dict]:
+        return 200, {"job": self.db.requeue(job_id)}
+
+    def handle_result(self, fingerprint: str) -> tuple[int, dict]:
+        result = self.db.get_result(fingerprint)
+        if result is None:
+            raise ProtocolError(f"no result for {fingerprint!r}", status=404)
+        return 200, {"result": result}
+
+    def handle_rank(self, payload, tenant: str | None) -> tuple[int, dict]:
+        """Synchronous zero-shot ranking with registry dedup.
+
+        First submission executes in-request (comparator inference only —
+        no forecaster training, so it is fast enough to answer inline) and
+        its result is stored content-addressed; every later identical
+        submission, from any tenant, is answered from the registry without
+        a single model forward.
+        """
+        if isinstance(payload, dict):
+            payload = {**payload, "kind": payload.get("kind", "rank")}
+        request = parse_submit(payload)
+        if request.kind != "rank":
+            raise ProtocolError("POST /rank only accepts kind 'rank'")
+        if tenant:
+            request = dataclasses.replace(request, tenant=tenant)
+        fingerprint = request_fingerprint(request, self.engine.fingerprint)
+        cached = self.db.get_result(fingerprint)
+        if cached is not None:
+            return 200, {
+                "fingerprint": fingerprint,
+                "deduped": True,
+                "result": cached,
+            }
+        with self._rank_lock:
+            cached = self.db.get_result(fingerprint)
+            if cached is not None:
+                return 200, {
+                    "fingerprint": fingerprint,
+                    "deduped": True,
+                    "result": cached,
+                }
+            result = execute_job(self.engine, request, fingerprint)
+        self.db.put_result(fingerprint, "rank", result.body)
+        return 200, {
+            "fingerprint": fingerprint,
+            "deduped": False,
+            "result": result.body,
+        }
+
+
+def _make_handler(service: ServiceAPI):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # http.server logs every request to stderr by default; route it
+        # through logging so test output stays clean.
+        def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+            logger.debug("%s - %s", self.address_string(), fmt % args)
+
+        # --------------------------------------------------------------
+        # Plumbing
+        # --------------------------------------------------------------
+        def _send(self, status: int, body: dict) -> None:
+            data = json.dumps(body).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_json(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > _MAX_BODY_BYTES:
+                raise ProtocolError("request body too large", status=413)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ProtocolError("empty request body")
+            try:
+                return json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"invalid JSON body ({exc})") from exc
+
+        def _dispatch(self, method: str) -> None:
+            path, _, query = self.path.partition("?")
+            parts = [p for p in path.split("/") if p]
+            try:
+                status, body = self._route(method, parts, query)
+            except ProtocolError as exc:
+                status, body = exc.status, {"error": str(exc)}
+            except UnknownJobError as exc:
+                status, body = 404, {"error": str(exc)}
+            except RegistryError as exc:
+                status, body = 500, {"error": str(exc)}
+            except Exception as exc:
+                logger.exception("unhandled error serving %s %s", method, path)
+                status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._send(status, body)
+
+        def _route(self, method: str, parts: list[str], query: str):
+            tenant = self.headers.get("X-Repro-Tenant")
+            if method == "GET":
+                if parts == ["health"]:
+                    return service.handle_health()
+                if parts == ["metrics"]:
+                    return service.handle_metrics()
+                if parts == ["jobs"]:
+                    status_filter = None
+                    for pair in query.split("&"):
+                        key, _, value = pair.partition("=")
+                        if key == "status" and value:
+                            status_filter = value
+                    return service.handle_jobs(status_filter)
+                if len(parts) == 2 and parts[0] == "jobs":
+                    return service.handle_job(parts[1])
+                if len(parts) == 2 and parts[0] == "results":
+                    return service.handle_result(parts[1])
+                raise ProtocolError(f"no such route: GET /{'/'.join(parts)}", 404)
+            if method == "POST":
+                if parts == ["jobs"]:
+                    return service.handle_submit(self._read_json(), tenant)
+                if parts == ["rank"]:
+                    return service.handle_rank(self._read_json(), tenant)
+                if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "requeue":
+                    return service.handle_requeue(parts[1])
+                raise ProtocolError(f"no such route: POST /{'/'.join(parts)}", 404)
+            raise ProtocolError(f"method {method} not allowed", 405)
+
+        def do_GET(self):  # noqa: N802
+            self._dispatch("GET")
+
+        def do_POST(self):  # noqa: N802
+            self._dispatch("POST")
+
+    return Handler

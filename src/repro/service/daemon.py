@@ -1,0 +1,155 @@
+"""The worker daemon: claims registry jobs and executes them.
+
+A daemon is a polling loop over the sqlite registry: atomically claim the
+oldest pending job (``UPDATE … RETURNING`` under ``BEGIN IMMEDIATE``, so
+two daemons can share one registry without double-claiming), re-validate
+its payload, execute it through :func:`~repro.service.jobs.execute_job`,
+and record the outcome:
+
+* success — result body stored content-addressed under the job's
+  fingerprint, job transitioned ``running → done``;
+* an ordinary ``Exception`` — job transitioned ``running → failed`` with
+  the error text (a later ``requeue`` retries it);
+* a ``BaseException`` (``KeyboardInterrupt``, ``SystemExit`` — i.e. the
+  process dying mid-job) — deliberately *not* caught: the job stays
+  ``running`` and the next daemon start requeues it via
+  :meth:`~repro.service.db.ServiceDB.recover_orphans`.  Combined with the
+  engine's content-addressed checkpoints, the retried run resumes
+  bitwise-identically instead of starting over.
+
+The daemon runs fine as a plain thread (tests, ``repro serve`` single
+process) or as the only occupant of a process (``repro serve --no-api``).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import uuid
+
+from .db import ServiceDB, UnknownJobError
+from .engine import Engine
+from .jobs import execute_job
+from .protocol import JobRequest, RuntimeOverrides, parse_runtime
+
+logger = logging.getLogger(__name__)
+
+
+def _request_from_row(job: dict) -> JobRequest:
+    """Rebuild the validated request from a stored job row."""
+    payload = job["payload"]
+    return JobRequest(
+        kind=job["kind"],
+        task_spec=payload["task"],
+        options=payload.get("options", {}),
+        runtime=(
+            parse_runtime(payload.get("runtime"))
+            if payload.get("runtime")
+            else RuntimeOverrides()
+        ),
+        tenant=payload.get("tenant", "anonymous"),
+    )
+
+
+class Daemon:
+    """One worker loop bound to a registry and an engine.
+
+    Args:
+        db: the shared job registry.
+        engine: the engine executing claimed jobs.
+        poll_interval: idle sleep between empty claims, seconds.
+        owner: claim tag written into job rows; defaults to a unique
+            ``worker-<hex>`` so concurrent daemons are distinguishable.
+    """
+
+    def __init__(
+        self,
+        db: ServiceDB,
+        engine: Engine,
+        poll_interval: float = 0.05,
+        owner: str | None = None,
+    ) -> None:
+        self.db = db
+        self.engine = engine
+        self.poll_interval = poll_interval
+        self.owner = owner or f"worker-{uuid.uuid4().hex[:8]}"
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, recover: bool = True) -> "Daemon":
+        """Recover orphans (jobs left 'running' by a dead worker), then poll."""
+        if recover:
+            orphans = self.db.recover_orphans()
+            if orphans:
+                logger.info("requeued %d orphaned job(s)", len(orphans))
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run_forever, name=self.owner, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run_forever(self) -> None:
+        while not self._stop.is_set():
+            if not self.run_once():
+                self._stop.wait(self.poll_interval)
+
+    def run_once(self) -> bool:
+        """Claim and execute at most one job; True if one was claimed."""
+        job = self.db.claim_next(self.owner)
+        if job is None:
+            return False
+        self.execute(job)
+        return True
+
+    def execute(self, job: dict) -> None:
+        """Run one claimed job to a terminal state.
+
+        Only ``Exception`` is converted into a 'failed' row; anything
+        harsher escapes with the job still 'running' — the crash contract
+        the restart-recovery test depends on.
+        """
+        started = time.perf_counter()
+        try:
+            request = _request_from_row(job)
+            result = execute_job(self.engine, request, job["fingerprint"])
+        except Exception as exc:
+            logger.exception("job %s failed", job["id"])
+            self._transition_safe(
+                job["id"], "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+            return
+        metrics = dict(result.metrics)
+        metrics["job.seconds"] = {
+            "kind": "gauge",
+            "value": time.perf_counter() - started,
+        }
+        self.db.put_result(
+            job["fingerprint"], job["kind"], result.body, job_id=job["id"]
+        )
+        self._transition_safe(job["id"], "done", metrics=metrics)
+        self.executed += 1
+
+    def _transition_safe(self, job_id: int, to_state: str, **kwargs) -> None:
+        try:
+            self.db.transition(job_id, to_state, from_state="running", **kwargs)
+        except UnknownJobError:
+            logger.warning("job %s vanished before reaching %s", job_id, to_state)

@@ -1,0 +1,314 @@
+"""Wire protocol of the search service: payload schemas and fingerprints.
+
+Everything that crosses the HTTP boundary is validated here, in one place,
+so the API handler and the CLI ``repro submit`` client agree on the schema
+and malformed payloads become a typed :class:`ProtocolError` (rendered as a
+4xx) instead of a stack trace deep inside the engine.
+
+Two design points matter beyond parsing:
+
+* **Per-job runtime overrides.**  Knobs like ``$REPRO_DIVERGENCE_POLICY``
+  and ``$REPRO_BUFFER_POOL`` used to be resolved from the parent process's
+  environment when an evaluator or config was constructed — fine for a
+  one-shot CLI, wrong for a multi-tenant daemon where two queued jobs may
+  want different policies.  :class:`RuntimeOverrides` carries those knobs
+  *inside the job payload*; the engine resolves them per job at execution
+  time (explicit payload value > daemon environment > default).
+* **Content-addressed requests.**  :func:`request_fingerprint` hashes the
+  score-relevant identity of a submission — job kind, task contents (via
+  :func:`~repro.runtime.fingerprint.task_fingerprint_material`), options,
+  the score-relevant runtime knobs, and the serving engine's identity.
+  Two tenants submitting the same work dedupe to one computation; knobs
+  that are provably score-inert (workers, retries, timeouts, buffer
+  pooling) are excluded so they cannot split the registry, mirroring the
+  eval-cache keying in :mod:`repro.runtime.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.datasets import CTSData, list_datasets
+from ..runtime.evaluator import DIVERGENCE_POLICIES
+from ..runtime.fingerprint import task_fingerprint_material
+from ..space.archhyper import ArchHyper
+from ..tasks.proxy import ProxyConfig
+from ..tasks.task import Task
+
+PROTOCOL_VERSION = 1
+
+JOB_KINDS = ("rank", "collect", "train")
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported payload; rendered as an HTTP 4xx."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require(payload: dict, key: str, kinds, where: str):
+    """``payload[key]`` checked against ``kinds``; ProtocolError otherwise."""
+    if key not in payload:
+        raise ProtocolError(f"{where}: missing required field {key!r}")
+    value = payload[key]
+    if not isinstance(value, kinds):
+        names = (
+            "/".join(k.__name__ for k in kinds)
+            if isinstance(kinds, tuple)
+            else kinds.__name__
+        )
+        raise ProtocolError(
+            f"{where}: field {key!r} must be {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _optional(payload: dict, key: str, kinds, where: str, default=None):
+    if key not in payload or payload[key] is None:
+        return default
+    return _require(payload, key, kinds, where)
+
+
+# ---------------------------------------------------------------------------
+# Task specs: a registered dataset by name, or raw series shipped inline
+# ---------------------------------------------------------------------------
+
+
+def build_task(spec: dict) -> Task:
+    """Materialize a :class:`~repro.tasks.task.Task` from a task spec.
+
+    Two forms are accepted:
+
+    * ``{"dataset": "SZ-TAXI", "p": 6, "q": 6, ...}`` — a registered
+      benchmark dataset by name;
+    * ``{"name": "...", "values": [[[...]]], "adjacency": [[...]], "p": ...}``
+      — raw series shipped inline as nested lists ``(N, T, F)`` plus an
+      ``(N, N)`` adjacency.
+
+    Every validation failure (unknown dataset, bad shapes, non-finite data,
+    too-short series) is re-raised as a :class:`ProtocolError`.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("task spec must be a JSON object")
+    p = _require(spec, "p", int, "task")
+    q = _require(spec, "q", int, "task")
+    single_step = _optional(spec, "single_step", bool, "task", False)
+    max_train_windows = _optional(spec, "max_train_windows", int, "task")
+    if "dataset" in spec:
+        name = _require(spec, "dataset", str, "task")
+        if name not in list_datasets():
+            raise ProtocolError(f"task: unknown dataset {name!r}")
+        from ..data.datasets import get_dataset
+
+        data = get_dataset(name, seed=_optional(spec, "seed", int, "task", 0))
+    elif "values" in spec:
+        values = _require(spec, "values", list, "task")
+        adjacency = _require(spec, "adjacency", list, "task")
+        name = _optional(spec, "name", str, "task", "inline")
+        try:
+            values_arr = np.asarray(values, dtype=np.float32)
+            adjacency_arr = np.asarray(adjacency, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"task: non-numeric series payload ({exc})") from exc
+        try:
+            data = CTSData(
+                name=name,
+                values=values_arr,
+                adjacency=adjacency_arr,
+                domain=_optional(spec, "domain", str, "task", "service"),
+            )
+        except ValueError as exc:  # includes NonFiniteDataError
+            raise ProtocolError(f"task: invalid series payload ({exc})") from exc
+    else:
+        raise ProtocolError("task: needs either 'dataset' or inline 'values'")
+    try:
+        return Task(
+            data=data,
+            p=p,
+            q=q,
+            single_step=single_step,
+            max_train_windows=max_train_windows,
+        )
+    except ValueError as exc:
+        raise ProtocolError(f"task: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Per-job runtime overrides
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuntimeOverrides:
+    """Evaluator/trainer knobs carried in the job payload.
+
+    ``None`` means "not specified": the engine falls back to *its own*
+    environment at execution time, exactly like the CLI resolvers do.  An
+    explicit value always wins over the daemon's environment — that is the
+    point of threading these through the payload rather than reading
+    ``$REPRO_*`` in the parent once at startup.
+    """
+
+    workers: int | None = None
+    divergence_policy: str | None = None
+    max_retries: int | None = None
+    eval_timeout: float | None = None
+    buffer_pool: bool | None = None
+    proxy_epochs: int | None = None
+    proxy_batch_size: int | None = None
+    proxy_lr: float | None = None
+    proxy_seed: int | None = None
+
+    def proxy_config(self) -> ProxyConfig:
+        """The per-job :class:`ProxyConfig`, overrides applied over defaults."""
+        base = ProxyConfig()
+        return ProxyConfig(
+            epochs=self.proxy_epochs if self.proxy_epochs is not None else base.epochs,
+            batch_size=(
+                self.proxy_batch_size
+                if self.proxy_batch_size is not None
+                else base.batch_size
+            ),
+            lr=self.proxy_lr if self.proxy_lr is not None else base.lr,
+            seed=self.proxy_seed if self.proxy_seed is not None else base.seed,
+            buffer_pool=(
+                self.buffer_pool if self.buffer_pool is not None else base.buffer_pool
+            ),
+        )
+
+    def score_material(self) -> dict:
+        """The score-*relevant* subset, for request fingerprints.
+
+        Workers, retries, timeouts, and buffer pooling are score-inert
+        (bitwise-identical results, enforced by the runtime/perf suites), so
+        they are deliberately absent: a tenant asking for 4 workers must
+        dedupe against a tenant asking for 1.
+        """
+        return {
+            "divergence_policy": self.divergence_policy,
+            "proxy_epochs": self.proxy_epochs,
+            "proxy_batch_size": self.proxy_batch_size,
+            "proxy_lr": self.proxy_lr,
+            "proxy_seed": self.proxy_seed,
+        }
+
+
+def parse_runtime(payload: dict | None) -> RuntimeOverrides:
+    """Validate the ``runtime`` section of a submission."""
+    if payload is None:
+        return RuntimeOverrides()
+    if not isinstance(payload, dict):
+        raise ProtocolError("runtime: must be a JSON object")
+    policy = _optional(payload, "divergence_policy", str, "runtime")
+    if policy is not None and policy not in DIVERGENCE_POLICIES:
+        raise ProtocolError(
+            f"runtime: unknown divergence_policy {policy!r}; "
+            f"expected one of {DIVERGENCE_POLICIES}"
+        )
+    return RuntimeOverrides(
+        workers=_optional(payload, "workers", int, "runtime"),
+        divergence_policy=policy,
+        max_retries=_optional(payload, "max_retries", int, "runtime"),
+        eval_timeout=_optional(payload, "eval_timeout", (int, float), "runtime"),
+        buffer_pool=_optional(payload, "buffer_pool", bool, "runtime"),
+        proxy_epochs=_optional(payload, "proxy_epochs", int, "runtime"),
+        proxy_batch_size=_optional(payload, "proxy_batch_size", int, "runtime"),
+        proxy_lr=_optional(payload, "proxy_lr", (int, float), "runtime"),
+        proxy_seed=_optional(payload, "proxy_seed", int, "runtime"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Submissions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated submission, ready for the registry and the engine."""
+
+    kind: str
+    task_spec: dict
+    options: dict = field(default_factory=dict)
+    runtime: RuntimeOverrides = field(default_factory=RuntimeOverrides)
+    tenant: str = "anonymous"
+
+    def build_task(self) -> Task:
+        return build_task(self.task_spec)
+
+
+def parse_submit(payload) -> JobRequest:
+    """Validate a ``POST /jobs`` (or ``POST /rank``) body into a request."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("submission must be a JSON object")
+    kind = _require(payload, "kind", str, "submission")
+    if kind not in JOB_KINDS:
+        raise ProtocolError(
+            f"submission: unknown kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    task_spec = _require(payload, "task", dict, "submission")
+    options = _optional(payload, "options", dict, "submission", {})
+    runtime = parse_runtime(payload.get("runtime"))
+    tenant = _optional(payload, "tenant", str, "submission", "anonymous")
+    if kind == "train":
+        arch_hyper = options.get("arch_hyper")
+        if not isinstance(arch_hyper, dict):
+            raise ProtocolError(
+                "submission: kind 'train' needs options.arch_hyper (an "
+                "ArchHyper dict from a previous ranking)"
+            )
+        try:
+            ArchHyper.from_dict(arch_hyper)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"submission: invalid options.arch_hyper ({exc})"
+            ) from exc
+    # Fail fast on task problems at submit time, not in the daemon.
+    build_task(task_spec)
+    return JobRequest(
+        kind=kind,
+        task_spec=task_spec,
+        options=dict(options),
+        runtime=runtime,
+        tenant=tenant,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed request identity
+# ---------------------------------------------------------------------------
+
+
+def task_fingerprint(task: Task) -> str:
+    """Content address of one task (hex SHA-256 over its data digests)."""
+    material = task_fingerprint_material(task)
+    payload = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def request_fingerprint(request: JobRequest, engine_fingerprint: str) -> str:
+    """Content address of one submission (hex SHA-256).
+
+    Hashes everything that determines the *result*: the job kind, the task's
+    contents (data digests, not just names), the job options, the
+    score-relevant runtime overrides, and the identity of the serving engine
+    (its pre-trained weights).  Tenant identity and score-inert runtime
+    knobs are excluded — that is what makes cross-tenant dedup sound.
+    """
+    task = build_task(request.task_spec)
+    material = {
+        "protocol": PROTOCOL_VERSION,
+        "kind": request.kind,
+        "task": task_fingerprint_material(task),
+        "options": request.options,
+        "runtime": request.runtime.score_material(),
+        "engine": engine_fingerprint,
+    }
+    payload = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()

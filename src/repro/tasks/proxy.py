@@ -46,7 +46,9 @@ class ProxyConfig:
     # Score-inert performance knob: pooled proxy training produces bitwise
     # identical scores, so this field is excluded from eval-cache
     # fingerprints (see repro.runtime.fingerprint.proxy_fingerprint).
-    buffer_pool: bool = True
+    # Tri-state: None resolves $REPRO_BUFFER_POOL at use time; an explicit
+    # bool (e.g. a per-job service override) wins over the environment.
+    buffer_pool: bool | None = None
 
     def train_config(self, epochs: int | None = None) -> TrainConfig:
         """Materialize the proxy's training configuration."""

@@ -81,3 +81,46 @@ class TestParser:
         assert "AHC: embed 16, 2 GIN layers, hidden 16" in out
         assert "searched:" in out
         assert "test MAE=" in out
+
+
+class TestServiceParsers:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8737
+        assert args.scale == "smoke"
+        assert args.variant == "full"
+        assert args.daemons == 1
+        assert args.db is None
+
+    def test_serve_parser_custom(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--scale", "tiny", "--daemons", "3",
+                "--db", "/tmp/reg.sqlite", "--no-eval-cache",
+            ]
+        )
+        assert args.port == 0
+        assert args.scale == "tiny"
+        assert args.daemons == 3
+        assert args.db == "/tmp/reg.sqlite"
+        assert args.no_eval_cache
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "SZ-TAXI"])
+        assert args.kind == "rank"
+        assert args.p == 6 and args.q == 6
+        assert not args.sync and not args.wait
+        assert args.url is None
+
+    def test_submit_parser_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "SZ-TAXI", "--kind", "explode"])
+
+    def test_submit_sync_rejects_non_rank(self, capsys):
+        code = main(
+            ["submit", "SZ-TAXI", "--kind", "collect", "--sync",
+             "--url", "http://127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "--sync" in capsys.readouterr().err

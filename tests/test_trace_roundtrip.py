@@ -174,3 +174,54 @@ class TestTraceReportCLI:
         tree = out.split("== span tree ==")[1].split("== candidate timeline ==")[0]
         assert "eval-batch" in tree  # the root survives
         assert "\n  " not in tree.strip("\n")  # children below depth 0 pruned
+
+    def test_report_renders_crashed_then_retried_pool_run(
+        self, fault_env, tmp_path, capsys
+    ):  # noqa: F811
+        # The rendering path (not just span round-trip): a pool run where a
+        # worker crashed mid-evaluation and the job was retried must render
+        # a readable report with the retry flagged on the candidate line.
+        from .test_faults import flaky_eval
+
+        path = tmp_path / "crashed-retried.jsonl"
+        fault_env.setenv(FAULT_BUDGET_ENV, "1")
+        _traced_run(
+            path,
+            workers=2,
+            eval_fn=flaky_eval,
+            retry_policy=_no_sleep_policy(max_retries=2),
+            count=3,
+        )
+        assert cli_main(["trace", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== per-stage rollup ==" in out
+        assert "== candidate timeline ==" in out
+        # Exactly one evaluation needed a second attempt, and the timeline
+        # says so in plain text.
+        assert out.count("attempt 2") == 1
+        timeline = out.split("== candidate timeline ==")[1]
+        assert len([line for line in timeline.splitlines() if line.strip()]) >= 3
+
+    def test_report_renders_killed_worker_pool_run(
+        self, fault_env, tmp_path, capsys
+    ):  # noqa: F811
+        # A hard worker death degrades the pool to the serial backend; the
+        # resulting trace must still render, with every candidate present
+        # exactly once in the timeline.
+        path = tmp_path / "killed-worker.jsonl"
+        fault_env.setenv(FAULT_BUDGET_ENV, "1")
+        _, trace = _traced_run(
+            path,
+            workers=2,
+            eval_fn=crashing_eval,
+            retry_policy=_no_sleep_policy(max_retries=2),
+            count=3,
+        )
+        assert cli_main(["trace", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        timeline = out.split("== candidate timeline ==")[1]
+        candidates = {
+            s["attrs"]["candidate"] for s in trace.spans if s["name"] == "eval"
+        }
+        for candidate in candidates:
+            assert timeline.count(candidate[:12]) >= 1
