@@ -23,7 +23,6 @@ threading: a long synchronous ``/rank`` cannot block ``/health``.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import logging
 import threading
@@ -66,8 +65,10 @@ class ServiceAPI:
         self._requested_port = port
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
-        # Serializes synchronous /rank executions: the engine's rank cache
-        # is not thread-safe, and rank determinism is the product guarantee.
+        # Dedup economy only: two identical /rank requests landing together
+        # should compute once, not twice (check registry -> execute -> store
+        # under one lock).  Thread-safety of ranking itself lives in
+        # Engine.rank_task, which serializes every caller — API, daemon, CLI.
         self._rank_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -120,9 +121,7 @@ class ServiceAPI:
         return 200, {"metrics": global_registry().snapshot()}
 
     def handle_submit(self, payload, tenant: str | None) -> tuple[int, dict]:
-        request = parse_submit(payload)
-        if tenant:
-            request = dataclasses.replace(request, tenant=tenant)
+        request = parse_submit(payload, tenant=tenant)
         fingerprint = request_fingerprint(request, self.engine.fingerprint)
         job, deduped = self.db.submit_job(
             fingerprint,
@@ -173,11 +172,9 @@ class ServiceAPI:
         """
         if isinstance(payload, dict):
             payload = {**payload, "kind": payload.get("kind", "rank")}
-        request = parse_submit(payload)
+        request = parse_submit(payload, tenant=tenant)
         if request.kind != "rank":
             raise ProtocolError("POST /rank only accepts kind 'rank'")
-        if tenant:
-            request = dataclasses.replace(request, tenant=tenant)
         fingerprint = request_fingerprint(request, self.engine.fingerprint)
         cached = self.db.get_result(fingerprint)
         if cached is not None:

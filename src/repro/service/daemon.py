@@ -12,10 +12,24 @@ and record the outcome:
   the error text (a later ``requeue`` retries it);
 * a ``BaseException`` (``KeyboardInterrupt``, ``SystemExit`` — i.e. the
   process dying mid-job) — deliberately *not* caught: the job stays
-  ``running`` and the next daemon start requeues it via
-  :meth:`~repro.service.db.ServiceDB.recover_orphans`.  Combined with the
+  ``running`` and orphan recovery requeues it.  Combined with the
   engine's content-addressed checkpoints, the retried run resumes
   bitwise-identically instead of starting over.
+
+Liveness and recovery: while a job runs, a heartbeat thread refreshes its
+``updated`` stamp every ``heartbeat_interval`` seconds.  Orphan recovery —
+run once at :meth:`Daemon.start` and periodically while the queue is idle
+— requeues only ``running`` jobs whose heartbeat went quiet for
+``recover_stale_after`` seconds, so a daemon restarting against a registry
+shared with *live* workers in another process never steals their in-flight
+jobs (unscoped :meth:`~repro.service.db.ServiceDB.recover_orphans` would
+requeue them, the job would execute twice, and the first worker's
+``running → done`` transition would then lose its race).
+
+The loop itself is crash-proof against ordinary failures: any
+``Exception`` escaping a claim/execute cycle (registry contention, a lost
+transition race) is logged and the loop keeps polling — only
+``BaseException`` kills the worker, preserving the crash-resume contract.
 
 The daemon runs fine as a plain thread (tests, ``repro serve`` single
 process) or as the only occupant of a process (``repro serve --no-api``).
@@ -28,7 +42,7 @@ import threading
 import time
 import uuid
 
-from .db import ServiceDB, UnknownJobError
+from .db import IllegalTransitionError, ServiceDB, UnknownJobError
 from .engine import Engine
 from .jobs import execute_job
 from .protocol import JobRequest, RuntimeOverrides, parse_runtime
@@ -61,6 +75,11 @@ class Daemon:
         poll_interval: idle sleep between empty claims, seconds.
         owner: claim tag written into job rows; defaults to a unique
             ``worker-<hex>`` so concurrent daemons are distinguishable.
+        heartbeat_interval: how often the in-flight job's ``updated``
+            stamp is refreshed, seconds.
+        recover_stale_after: how long a ``running`` job's heartbeat must
+            be quiet before recovery treats it as orphaned; defaults to
+            ``10 × heartbeat_interval``.
     """
 
     def __init__(
@@ -69,48 +88,111 @@ class Daemon:
         engine: Engine,
         poll_interval: float = 0.05,
         owner: str | None = None,
+        heartbeat_interval: float = 1.0,
+        recover_stale_after: float | None = None,
     ) -> None:
         self.db = db
         self.engine = engine
         self.poll_interval = poll_interval
         self.owner = owner or f"worker-{uuid.uuid4().hex[:8]}"
+        self.heartbeat_interval = heartbeat_interval
+        self.recover_stale_after = (
+            recover_stale_after
+            if recover_stale_after is not None
+            else heartbeat_interval * 10.0
+        )
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._heartbeat_thread: threading.Thread | None = None
+        self._active_job_id: str | None = None
+        self._recover = False
         self.executed = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self, recover: bool = True) -> "Daemon":
-        """Recover orphans (jobs left 'running' by a dead worker), then poll."""
+        """Sweep stale orphans (jobs whose worker's heartbeat died), then poll."""
+        self._recover = recover
         if recover:
-            orphans = self.db.recover_orphans()
-            if orphans:
-                logger.info("requeued %d orphaned job(s)", len(orphans))
+            self.recover_once()
         self._stop.clear()
         self._thread = threading.Thread(
             target=self.run_forever, name=self.owner, daemon=True
         )
         self._thread.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name=f"{self.owner}-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        for thread in (self._thread, self._heartbeat_thread):
+            if thread is not None:
+                thread.join(timeout=timeout)
+        self._thread = None
+        self._heartbeat_thread = None
 
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
     # ------------------------------------------------------------------
+    # Recovery and liveness
+    # ------------------------------------------------------------------
+    def recover_once(self) -> list[dict]:
+        """Requeue running jobs whose heartbeat has been quiet too long.
+
+        Scoped by staleness, not owner: a freshly restarted daemon has a
+        new owner tag, so the dead predecessor's jobs are recognizable
+        only by their silence — while jobs held by live workers (even in
+        another process sharing the registry) keep heartbeating and are
+        left alone.
+        """
+        orphans = self.db.recover_orphans(stale_after=self.recover_stale_after)
+        if orphans:
+            logger.info("requeued %d orphaned job(s)", len(orphans))
+        return orphans
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            job_id = self._active_job_id
+            if job_id is None:
+                continue
+            try:
+                if not self.db.heartbeat(job_id, self.owner):
+                    logger.warning(
+                        "job %s is no longer owned by %s", job_id, self.owner
+                    )
+            except Exception:
+                logger.exception("heartbeat for job %s failed", job_id)
+
+    # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------
     def run_forever(self) -> None:
+        next_sweep = time.monotonic() + self.recover_stale_after
         while not self._stop.is_set():
-            if not self.run_once():
-                self._stop.wait(self.poll_interval)
+            # Ordinary failures (registry contention after the busy
+            # timeout, a lost transition race) must not kill the worker
+            # silently while the API keeps queueing; log and keep polling.
+            # BaseException still escapes — that is the crash contract.
+            try:
+                claimed = self.run_once()
+            except Exception:
+                logger.exception("worker %s: claim cycle failed", self.owner)
+                claimed = False
+            if claimed:
+                continue
+            if self._recover and time.monotonic() >= next_sweep:
+                try:
+                    self.recover_once()
+                except Exception:
+                    logger.exception("worker %s: orphan sweep failed", self.owner)
+                next_sweep = time.monotonic() + self.recover_stale_after
+            self._stop.wait(self.poll_interval)
 
     def run_once(self) -> bool:
         """Claim and execute at most one job; True if one was claimed."""
@@ -128,15 +210,19 @@ class Daemon:
         the restart-recovery test depends on.
         """
         started = time.perf_counter()
+        self._active_job_id = job["id"]
         try:
-            request = _request_from_row(job)
-            result = execute_job(self.engine, request, job["fingerprint"])
-        except Exception as exc:
-            logger.exception("job %s failed", job["id"])
-            self._transition_safe(
-                job["id"], "failed", error=f"{type(exc).__name__}: {exc}"
-            )
-            return
+            try:
+                request = _request_from_row(job)
+                result = execute_job(self.engine, request, job["fingerprint"])
+            except Exception as exc:
+                logger.exception("job %s failed", job["id"])
+                self._transition_safe(
+                    job["id"], "failed", error=f"{type(exc).__name__}: {exc}"
+                )
+                return
+        finally:
+            self._active_job_id = None
         metrics = dict(result.metrics)
         metrics["job.seconds"] = {
             "kind": "gauge",
@@ -148,8 +234,16 @@ class Daemon:
         self._transition_safe(job["id"], "done", metrics=metrics)
         self.executed += 1
 
-    def _transition_safe(self, job_id: int, to_state: str, **kwargs) -> None:
+    def _transition_safe(self, job_id: str, to_state: str, **kwargs) -> None:
         try:
             self.db.transition(job_id, to_state, from_state="running", **kwargs)
         except UnknownJobError:
             logger.warning("job %s vanished before reaching %s", job_id, to_state)
+        except IllegalTransitionError as exc:
+            # Expected under recovery: the job was requeued (treated as
+            # orphaned) while this worker was still finishing it.  The
+            # result body is content-addressed, so whichever run lands it
+            # writes identical bytes; losing the row race is harmless.
+            logger.warning(
+                "job %s: lost transition to %s (%s)", job_id, to_state, exc
+            )

@@ -397,25 +397,52 @@ class ServiceDB:
                 (json.dumps(metrics, sort_keys=True), time.time(), job_id),
             )
 
-    def recover_orphans(self, owner_prefix: str | None = None) -> list[dict]:
-        """Requeue ``running`` jobs left behind by a dead daemon.
+    def heartbeat(self, job_id: str, owner: str) -> bool:
+        """Refresh a running job's ``updated`` stamp; the liveness signal.
 
-        A killed daemon cannot mark its in-flight job; on restart, every
-        ``running`` job (optionally filtered to owners with a given prefix)
-        goes back to ``pending``.  Progress checkpoints written by the job's
-        executor survive on disk, so the re-run resumes bitwise-identically
-        instead of starting over.
+        Guarded by owner and status so a heartbeat can never resurrect a
+        job that was recovered (or finished) out from under its worker.
+        Returns whether the job is still this owner's to run — a worker
+        seeing ``False`` knows its claim was taken away.
         """
         with self._write() as conn:
-            if owner_prefix is None:
-                rows = conn.execute(
-                    "SELECT id FROM jobs WHERE status = 'running'"
-                ).fetchall()
-            else:
-                rows = conn.execute(
-                    "SELECT id FROM jobs WHERE status = 'running' AND owner LIKE ?",
-                    (owner_prefix + "%",),
-                ).fetchall()
+            updated = conn.execute(
+                "UPDATE jobs SET updated = ? "
+                "WHERE id = ? AND status = 'running' AND owner = ?",
+                (time.time(), job_id, owner),
+            ).rowcount
+        return updated == 1
+
+    def recover_orphans(
+        self,
+        owner_prefix: str | None = None,
+        stale_after: float | None = None,
+    ) -> list[dict]:
+        """Requeue ``running`` jobs left behind by a dead daemon.
+
+        A killed daemon cannot mark its in-flight job; on restart,
+        ``running`` jobs go back to ``pending``.  Progress checkpoints
+        written by the job's executor survive on disk, so the re-run
+        resumes bitwise-identically instead of starting over.
+
+        With no filter this requeues *every* running job — only safe when
+        the caller knows no other worker is alive (tests, an explicit
+        admin reset).  Daemons sharing a registry with workers they cannot
+        see must scope the sweep: ``owner_prefix`` restricts it to their
+        own claim tags, and ``stale_after`` restricts it to jobs whose
+        ``updated`` heartbeat (see :meth:`heartbeat`) went quiet more than
+        that many seconds ago — a live worker's job is never stolen.
+        """
+        with self._write() as conn:
+            query = "SELECT id FROM jobs WHERE status = 'running'"
+            params: list = []
+            if owner_prefix is not None:
+                query += " AND owner LIKE ?"
+                params.append(owner_prefix + "%")
+            if stale_after is not None:
+                query += " AND updated < ?"
+                params.append(time.time() - stale_after)
+            rows = conn.execute(query, params).fetchall()
             recovered = []
             for row in rows:
                 conn.execute(

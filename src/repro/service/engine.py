@@ -30,6 +30,8 @@ produced by a different comparator.
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
@@ -119,6 +121,11 @@ class Engine:
             for pooled jobs).
         cache_dir: proxy score-cache directory (``None``: the default);
             ``cache_enabled=False`` disables the cache entirely.
+        rank_cache_size: how many per-task ranking caches to keep (LRU).
+            Each entry holds a task's preliminary embedding plus every
+            candidate embedding computed for it, so a long-running daemon
+            accepting arbitrary inline tasks must bound it; eviction is
+            safe because entries are pure caches rebuilt bitwise-identically.
     """
 
     def __init__(
@@ -130,6 +137,7 @@ class Engine:
         eval_fn: Callable | None = None,
         cache_dir: str | Path | None = None,
         cache_enabled: bool = True,
+        rank_cache_size: int = 8,
     ) -> None:
         self.artifacts = artifacts
         self.scale = scale
@@ -138,12 +146,21 @@ class Engine:
         self.eval_fn = eval_fn
         self.cache_dir = cache_dir
         self.cache_enabled = cache_enabled
+        self.rank_cache_size = max(1, rank_cache_size)
         self.fingerprint = artifacts_fingerprint(artifacts)
         # task fingerprint -> (preliminary embedding, RankingEngine); the
         # encode-once-across-requests cache.  Sound because the comparator's
         # weights are frozen for the engine's lifetime (inference only) and
         # memoized embeddings are bitwise-identical to fresh ones (PR-4).
-        self._rank_cache: dict[str, tuple[np.ndarray, RankingEngine]] = {}
+        self._rank_cache: OrderedDict[str, tuple[np.ndarray, RankingEngine]] = (
+            OrderedDict()
+        )
+        # Serializes every rank no matter who calls (API thread, daemon
+        # worker, CLI): the cached RankingEngines are stateful and all share
+        # one comparator model whose train/eval mode they toggle, so
+        # concurrent ranks would corrupt cached embeddings and break the
+        # bitwise-determinism guarantee.
+        self._rank_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Evaluator construction (per-job overrides resolved here)
@@ -209,26 +226,32 @@ class Engine:
         """Algorithm 2 phases 1–2: embed the task, rank candidates under it.
 
         The preliminary embedding and the task-conditioned ranking engine
-        are cached by ``task_fingerprint``, so repeated requests about one
-        task reuse every GIN encoding computed so far (bitwise-identical to
-        recomputing; only the encoder-forward count changes).
+        are cached by ``task_fingerprint`` (bounded LRU of
+        ``rank_cache_size`` tasks), so repeated requests about one task
+        reuse every GIN encoding computed so far (bitwise-identical to
+        recomputing; only the encoder-forward count changes).  The whole
+        rank runs under the engine's lock — see ``_rank_lock``.
         """
-        searcher = self._searcher(seed, top_k, initial_samples)
-        cached = self._rank_cache.get(task_fingerprint)
-        if cached is None:
-            preliminary = searcher.embed_task(task)
-            ranking_engine = RankingEngine(
-                self.artifacts.model,
-                preliminary=preliminary,
-                space=self.artifacts.space.hyper_space,
+        with self._rank_lock:
+            searcher = self._searcher(seed, top_k, initial_samples)
+            cached = self._rank_cache.get(task_fingerprint)
+            if cached is None:
+                preliminary = searcher.embed_task(task)
+                ranking_engine = RankingEngine(
+                    self.artifacts.model,
+                    preliminary=preliminary,
+                    space=self.artifacts.space.hyper_space,
+                )
+                self._rank_cache[task_fingerprint] = (preliminary, ranking_engine)
+                while len(self._rank_cache) > self.rank_cache_size:
+                    self._rank_cache.popitem(last=False)
+            else:
+                self._rank_cache.move_to_end(task_fingerprint)
+                preliminary, ranking_engine = cached
+            top, comparisons = searcher.rank(
+                preliminary, checkpoint=checkpoint, engine=ranking_engine
             )
-            self._rank_cache[task_fingerprint] = (preliminary, ranking_engine)
-        else:
-            preliminary, ranking_engine = cached
-        top, comparisons = searcher.rank(
-            preliminary, checkpoint=checkpoint, engine=ranking_engine
-        )
-        return RankOutcome(top, comparisons, task.name)
+            return RankOutcome(top, comparisons, task.name)
 
     def search_task(
         self, task: Task, seed: int = 0, resume: bool = False

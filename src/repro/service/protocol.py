@@ -240,11 +240,26 @@ class JobRequest:
     tenant: str = "anonymous"
 
     def build_task(self) -> Task:
-        return build_task(self.task_spec)
+        """The materialized task, built once and memoized.
+
+        Inline payloads can be tens of megabytes; validation at parse
+        time, fingerprinting, and execution must all see one build, not
+        three.  Sound to memoize because the spec is immutable once the
+        request is constructed.
+        """
+        task = self.__dict__.get("_task")
+        if task is None:
+            task = build_task(self.task_spec)
+            object.__setattr__(self, "_task", task)
+        return task
 
 
-def parse_submit(payload) -> JobRequest:
-    """Validate a ``POST /jobs`` (or ``POST /rank``) body into a request."""
+def parse_submit(payload, tenant: str | None = None) -> JobRequest:
+    """Validate a ``POST /jobs`` (or ``POST /rank``) body into a request.
+
+    ``tenant`` (e.g. from an ``X-Repro-Tenant`` header) beats any tenant
+    field inside the payload.
+    """
     if not isinstance(payload, dict):
         raise ProtocolError("submission must be a JSON object")
     kind = _require(payload, "kind", str, "submission")
@@ -255,7 +270,8 @@ def parse_submit(payload) -> JobRequest:
     task_spec = _require(payload, "task", dict, "submission")
     options = _optional(payload, "options", dict, "submission", {})
     runtime = parse_runtime(payload.get("runtime"))
-    tenant = _optional(payload, "tenant", str, "submission", "anonymous")
+    if tenant is None:
+        tenant = _optional(payload, "tenant", str, "submission", "anonymous")
     if kind == "train":
         arch_hyper = options.get("arch_hyper")
         if not isinstance(arch_hyper, dict):
@@ -269,15 +285,17 @@ def parse_submit(payload) -> JobRequest:
             raise ProtocolError(
                 f"submission: invalid options.arch_hyper ({exc})"
             ) from exc
-    # Fail fast on task problems at submit time, not in the daemon.
-    build_task(task_spec)
-    return JobRequest(
+    request = JobRequest(
         kind=kind,
         task_spec=task_spec,
         options=dict(options),
         runtime=runtime,
         tenant=tenant,
     )
+    # Fail fast on task problems at submit time, not in the daemon; the
+    # built task stays memoized on the request for fingerprint/execution.
+    request.build_task()
+    return request
 
 
 # ---------------------------------------------------------------------------
@@ -301,7 +319,7 @@ def request_fingerprint(request: JobRequest, engine_fingerprint: str) -> str:
     (its pre-trained weights).  Tenant identity and score-inert runtime
     knobs are excluded — that is what makes cross-tenant dedup sound.
     """
-    task = build_task(request.task_spec)
+    task = request.build_task()
     material = {
         "protocol": PROTOCOL_VERSION,
         "kind": request.kind,

@@ -53,15 +53,32 @@ def _candidates(count, seed=0):
 
 
 def _bump_fault_counter() -> int:
-    """Increment the cross-process fault counter; returns the prior count."""
+    """Increment the cross-process fault counter; returns the prior count.
+
+    Must be atomic across processes: after a pool worker hard-crashes, the
+    parent's degraded-serial re-run can race a still-alive worker on this
+    file.  A naive ``open(path, "w")`` truncates before writing, so a racing
+    reader could observe an empty file, read the count as 0, and take a
+    crash branch meant for a worker *inside the pytest process itself*
+    (killing the whole run).  flock + write-before-truncate closes both the
+    lost-update and the torn-read windows.
+    """
+    import fcntl
+
     path = os.environ[FAULT_FILE_ENV]
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
     try:
-        with open(path) as handle:
-            count = int(handle.read().strip() or 0)
-    except (FileNotFoundError, ValueError):
-        count = 0
-    with open(path, "w") as handle:
-        handle.write(str(count + 1))
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            count = int(os.read(fd, 64).decode().strip() or 0)
+        except ValueError:
+            count = 0
+        data = str(count + 1).encode()
+        os.lseek(fd, 0, os.SEEK_SET)
+        os.write(fd, data)
+        os.ftruncate(fd, len(data))
+    finally:
+        os.close(fd)  # releases the lock
     return count
 
 

@@ -41,6 +41,7 @@ from repro.runtime.fingerprint import proxy_fingerprint
 from repro.service import (
     Daemon,
     Engine,
+    RegistryError,
     ServiceAPI,
     ServiceDB,
     build_task,
@@ -468,6 +469,107 @@ class TestFailures:
             assert final["job"]["attempts"] == 2
         finally:
             stack.close()
+
+
+class TestDaemonRobustness:
+    def test_worker_loop_survives_registry_exceptions(self, tmp_path):
+        # A transient RegistryError in the claim cycle (sqlite contention,
+        # a lost transition race) must not silently kill the worker while
+        # the API keeps accepting jobs.
+        stack = Service(tmp_path, eval_fn=cheap_eval)
+        try:
+            original = stack.db.claim_next
+            failures = {"left": 3}
+
+            def flaky_claim(owner):
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise RegistryError("synthetic contention")
+                return original(owner)
+
+            stack.db.claim_next = flaky_claim
+            _, submitted = stack.request(
+                "/jobs",
+                {"kind": "collect", "task": _task_spec(), "options": {"n_samples": 2}},
+            )
+            final = stack.wait_for(submitted["job"]["id"])
+            assert final["job"]["status"] == "done"
+            assert failures["left"] == 0  # the loop really did hit the faults
+            assert stack.daemon.running
+        finally:
+            stack.close()
+
+    def test_restarting_daemon_does_not_steal_live_jobs(self, tmp_path):
+        # A second `repro serve` on the same registry must not requeue a
+        # job a live worker elsewhere is still heartbeating (double
+        # execution + a lost running->done race for the first worker).
+        db = ServiceDB(tmp_path / "registry.sqlite")
+        engine = Engine(_artifacts(), SCALES["smoke"], cache_enabled=False)
+        job, _ = db.submit_job("fp-live", "collect", {"task": _task_spec()})
+        db.claim_next("live-worker")  # fresh claim == fresh heartbeat
+        restarted = Daemon(db, engine, recover_stale_after=30.0)
+        assert restarted.recover_once() == []
+        assert db.get_job(job["id"])["status"] == "running"
+        # Once the heartbeat goes quiet past the threshold it is an orphan.
+        db._connection().execute(
+            "UPDATE jobs SET updated = updated - 60 WHERE id = ?", (job["id"],)
+        )
+        recovered = restarted.recover_once()
+        assert [j["id"] for j in recovered] == [job["id"]]
+        assert db.get_job(job["id"])["status"] == "pending"
+
+
+class TestEngineRanking:
+    def test_concurrent_ranks_match_sequential_reference(self):
+        # Daemon rank jobs race synchronous /rank calls on one engine; the
+        # engine-level lock must keep every result bitwise-identical to a
+        # sequential run on a fresh engine.
+        specs = [_task_spec(seed=index, name=f"toy-{index}") for index in range(3)]
+        tasks = [build_task(spec) for spec in specs]
+        reference_engine = Engine(_artifacts(), SCALES["smoke"], cache_enabled=False)
+        reference = {}
+        for task in tasks:
+            outcome = reference_engine.rank_task(
+                task, task_fingerprint(task), seed=0, top_k=2
+            )
+            reference[task.name] = [ah.to_dict() for ah in outcome.candidates]
+
+        engine = Engine(_artifacts(), SCALES["smoke"], cache_enabled=False)
+        results: dict[str, list] = {}
+        errors: list[Exception] = []
+
+        def worker(task):
+            try:
+                outcome = engine.rank_task(
+                    task, task_fingerprint(task), seed=0, top_k=2
+                )
+                candidates = [ah.to_dict() for ah in outcome.candidates]
+                previous = results.setdefault(task.name, candidates)
+                assert previous == candidates  # repeat ranks agree too
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(task,)) for task in tasks * 2
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert results == reference
+
+    def test_rank_cache_is_bounded_lru(self):
+        engine = Engine(
+            _artifacts(), SCALES["smoke"], cache_enabled=False, rank_cache_size=2
+        )
+        for index in range(3):
+            task = build_task(_task_spec(seed=index, name=f"toy-{index}"))
+            engine.rank_task(task, task_fingerprint(task), seed=0, top_k=1)
+        assert len(engine._rank_cache) == 2
+        # The most recent two tasks survived, the oldest was evicted.
+        newest = build_task(_task_spec(seed=2, name="toy-2"))
+        assert task_fingerprint(newest) in engine._rank_cache
 
 
 class TestConcurrency:

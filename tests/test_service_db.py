@@ -206,6 +206,46 @@ class TestClaims:
         assert [j["id"] for j in recovered] == [mine["id"]]
         assert db.get_job(other["id"])["status"] == "running"
 
+    def test_recover_orphans_stale_gate_spares_live_jobs(self, tmp_path):
+        # A registry shared by two daemon processes: recovery must requeue
+        # only jobs whose heartbeat went quiet, never a live worker's.
+        db = _db(tmp_path)
+        fresh, _ = _submit(db, fingerprint="fp-fresh")
+        stale, _ = _submit(db, fingerprint="fp-stale")
+        db.claim_next("w-live")
+        db.claim_next("w-dead")
+        db._connection().execute(
+            "UPDATE jobs SET updated = updated - 120 WHERE id = ?", (stale["id"],)
+        )
+        recovered = db.recover_orphans(stale_after=60.0)
+        assert [j["id"] for j in recovered] == [stale["id"]]
+        assert db.get_job(fresh["id"])["status"] == "running"
+        assert db.get_job(stale["id"])["status"] == "pending"
+
+
+class TestHeartbeat:
+    def test_heartbeat_refreshes_updated(self, tmp_path):
+        db = _db(tmp_path)
+        job, _ = _submit(db)
+        db.claim_next("w")
+        db._connection().execute(
+            "UPDATE jobs SET updated = updated - 120 WHERE id = ?", (job["id"],)
+        )
+        backdated = db.get_job(job["id"])["updated"]
+        assert db.heartbeat(job["id"], "w")
+        assert db.get_job(job["id"])["updated"] > backdated
+        # A fresh heartbeat keeps the job out of a stale-gated sweep.
+        assert db.recover_orphans(stale_after=60.0) == []
+
+    def test_heartbeat_guarded_by_owner_and_status(self, tmp_path):
+        db = _db(tmp_path)
+        job, _ = _submit(db)
+        assert not db.heartbeat(job["id"], "w")  # still pending
+        db.claim_next("w")
+        assert not db.heartbeat(job["id"], "other")  # someone else's claim
+        db.transition(job["id"], "done")
+        assert not db.heartbeat(job["id"], "w")  # terminal: cannot resurrect
+
 
 class TestDedupAndResults:
     def test_duplicate_submission_dedupes(self, tmp_path):
