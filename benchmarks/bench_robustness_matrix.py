@@ -1,0 +1,253 @@
+"""Robustness matrix: zero-shot quality under seeded data corruption.
+
+AutoCTS++'s pitch is recommending arch-hypers for *unseen* tasks — but real
+unseen tasks are dirty.  This benchmark measures how the pre-trained
+comparator and the downstream forecaster degrade as one target task
+(SZ-TAXI) is corrupted by each profile in
+:mod:`repro.data.corruption` at increasing severity:
+
+* **ranking quality** — Spearman ρ and pairwise accuracy between the
+  T-AHC's win-count ranking of a fixed candidate pool and the pool's true
+  proxy scores *measured on the dirty task* (sentinel scores for diverged
+  candidates are legitimate; non-finite scores are a hard failure);
+* **forecast quality** — masked test MAE of the top-ranked candidate after
+  final training, reported as a ratio against the clean-task baseline.
+
+``--check`` runs a reduced matrix as a CI gate: every comparator label and
+proxy score must be finite, and a clean task wearing an all-True mask must
+score within tolerance of the maskless clean baseline (the mask-aware code
+path cannot silently regress clean data).
+
+The committed JSON (``benchmarks/results/robustness_matrix.json``) is the
+robustness snapshot for ROADMAP item 5.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.comparator import RankingEngine
+from repro.core.health import DivergenceError
+from repro.data import corrupt_dataset, get_dataset, get_spec
+from repro.experiments import SMOKE, TINY, make_searcher, pretrain_variant
+from repro.experiments.reporting import RESULTS_DIR, ResultTable, print_and_save
+from repro.metrics.ranking import pairwise_accuracy, spearman
+from repro.tasks import ProxyConfig, Task, measure_arch_hyper
+from repro.tasks.proxy import SENTINEL_SCORE, full_train_score, is_sentinel_score
+
+TARGET = "SZ-TAXI"
+PROFILES = (
+    "block_missing",
+    "sensor_outage",
+    "point_anomalies",
+    "level_shift",
+    "irregular_sampling",
+)
+SEVERITIES = (0.2, 0.5)
+N_CANDIDATES = 8
+SEED = 0
+
+# --check tolerance: an all-True mask routes clean data through the masked
+# scaler/loss/metrics (float-equivalent, not bitwise), so the MAE may move
+# within float accumulation noise — never by a third.
+CHECK_RATIO_BOUNDS = (0.75, 1.3333)
+
+
+def _target_task(data, scale) -> Task:
+    spec = get_spec(TARGET)
+    return Task(
+        data=data,
+        p=6,
+        q=6,
+        split_ratio=spec.split_ratio_multi,
+        max_train_windows=scale.max_train_windows,
+    )
+
+
+def _rank_and_train(artifacts, scale, task, candidates, final_epochs: int) -> dict:
+    """One matrix cell: rank the pool on ``task``, train the top pick."""
+    searcher = make_searcher(artifacts, scale, seed=SEED)
+    preliminary = searcher.embed_task(task)
+    engine = RankingEngine(
+        artifacts.model, preliminary=preliminary, space=artifacts.space.hyper_space
+    )
+    wins = engine.win_matrix(candidates)
+    win_counts = wins.sum(axis=1)
+
+    proxy = ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size, seed=SEED)
+    true_scores = []
+    for candidate in candidates:
+        try:
+            true_scores.append(measure_arch_hyper(candidate, task, proxy))
+        except DivergenceError:
+            true_scores.append(SENTINEL_SCORE)
+    true_scores = np.asarray(true_scores)
+
+    top = int(np.argmax(win_counts))
+    test = full_train_score(
+        candidates[top], task, epochs=final_epochs, config=proxy
+    )
+    return {
+        "dataset": task.data.name,
+        "missing_fraction": (
+            0.0 if task.data.mask is None else float((~task.data.mask).mean())
+        ),
+        # Win counts rank candidates best-first; true scores are errors
+        # (lower better), so quality is measured against their negation.
+        "spearman": spearman(win_counts, -true_scores),
+        "pairwise_accuracy": pairwise_accuracy(wins, true_scores),
+        "n_sentinel": int(sum(is_sentinel_score(s) for s in true_scores)),
+        "all_labels_finite": bool(np.isfinite(wins).all()),
+        "all_scores_finite": bool(np.isfinite(true_scores).all()),
+        "top_candidate": candidates[top].key(),
+        "test_mae": float(test.mae),
+    }
+
+
+def run_robustness_matrix(
+    profiles=PROFILES,
+    severities=SEVERITIES,
+    n_candidates: int = N_CANDIDATES,
+    final_epochs: int = 2,
+):
+    # TINY, not SMOKE: the smoke comparator is too under-trained to prefer
+    # any candidate (all-zero win matrix), which would flatten every ranking
+    # metric to zero and hide degradation; TINY's 24-epoch comparator ranks.
+    scale = TINY
+    artifacts = pretrain_variant(scale, "full", seed=SEED)
+    candidates = artifacts.space.sample_batch(
+        n_candidates, np.random.default_rng(SEED)
+    )
+    clean_data = get_dataset(TARGET, seed=SEED)
+
+    clean = _rank_and_train(
+        artifacts, scale, _target_task(clean_data, scale), candidates, final_epochs
+    )
+    cells = []
+    for profile in profiles:
+        for severity in severities:
+            dirty = corrupt_dataset(
+                clean_data, profile, severity=severity, seed=SEED
+            )
+            cell = _rank_and_train(
+                artifacts, scale, _target_task(dirty, scale), candidates, final_epochs
+            )
+            cell.update(
+                profile=profile,
+                severity=severity,
+                mae_ratio_vs_clean=(
+                    cell["test_mae"] / clean["test_mae"]
+                    if clean["test_mae"] > 0
+                    else float("inf")
+                ),
+            )
+            cells.append(cell)
+
+    report = {
+        "benchmark": "robustness_matrix",
+        "scale": scale.name,
+        "target": TARGET,
+        "setting": "P-12/Q-12 (reproduction P-6/Q-6)",
+        "seed": SEED,
+        "n_candidates": n_candidates,
+        "final_train_epochs": final_epochs,
+        "clean": clean,
+        "cells": cells,
+    }
+
+    table = ResultTable(title=f"Robustness matrix on {TARGET} (dirty vs clean)")
+    row = f"{TARGET} clean"
+    table.add(row, "spearman", "value", f"{clean['spearman']:+.2f}")
+    table.add(row, "pair acc", "value", f"{clean['pairwise_accuracy']:.2f}")
+    table.add(row, "test MAE", "value", f"{clean['test_mae']:.4f}")
+    for cell in cells:
+        row = f"{cell['profile']}@{cell['severity']:g}"
+        table.add(row, "spearman", "value", f"{cell['spearman']:+.2f}")
+        table.add(row, "pair acc", "value", f"{cell['pairwise_accuracy']:.2f}")
+        table.add(
+            row,
+            "test MAE",
+            "value",
+            f"{cell['test_mae']:.4f} ({cell['mae_ratio_vs_clean']:.2f}x clean)",
+        )
+    return table, report
+
+
+def check_gate() -> None:
+    """CI smoke gate: small matrix, hard finiteness + clean-parity asserts.
+
+    Runs at SMOKE (fast, CI-sized): the asserts are about finiteness and
+    clean-data parity of the mask-aware path, not ranking diversity, so an
+    under-trained comparator is fine here.
+    """
+    scale = SMOKE
+    artifacts = pretrain_variant(scale, "full", seed=SEED)
+    candidates = artifacts.space.sample_batch(4, np.random.default_rng(SEED))
+    clean_data = get_dataset(TARGET, seed=SEED)
+
+    clean = _rank_and_train(
+        artifacts, scale, _target_task(clean_data, scale), candidates, final_epochs=1
+    )
+    assert clean["all_labels_finite"] and clean["all_scores_finite"]
+
+    # A clean task wearing an all-True mask exercises every mask-aware code
+    # path with nothing actually corrupted; it must not regress clean scores
+    # beyond float-accumulation tolerance.
+    masked_data = corrupt_dataset(clean_data, "block_missing", severity=1e-9, seed=SEED)
+    # severity ~0 still drops 0 blocks per series -> all-True mask
+    assert masked_data.mask.all(), "expected an effectively-clean mask"
+    masked = _rank_and_train(
+        artifacts, scale, _target_task(masked_data, scale), candidates, final_epochs=1
+    )
+    assert masked["all_labels_finite"] and masked["all_scores_finite"]
+    low, high = CHECK_RATIO_BOUNDS
+    ratio = masked["test_mae"] / clean["test_mae"]
+    assert low <= ratio <= high, (
+        f"all-True mask moved clean MAE by {ratio:.3f}x "
+        f"(bounds {low}-{high}): mask-aware path regressed clean data"
+    )
+
+    for profile, severity in (("block_missing", 0.25), ("point_anomalies", 0.4)):
+        dirty = corrupt_dataset(clean_data, profile, severity=severity, seed=SEED)
+        cell = _rank_and_train(
+            artifacts, scale, _target_task(dirty, scale), candidates, final_epochs=1
+        )
+        assert cell["all_labels_finite"], f"{profile}: non-finite comparator label"
+        assert cell["all_scores_finite"], f"{profile}: non-finite proxy score"
+        assert np.isfinite(cell["test_mae"]), f"{profile}: non-finite test MAE"
+    print("robustness gate ok: labels/scores finite, clean parity "
+          f"ratio {ratio:.3f} within {CHECK_RATIO_BOUNDS}")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke gate: reduced matrix, finiteness + clean-parity asserts",
+    )
+    parser.add_argument("--candidates", type=int, default=N_CANDIDATES)
+    parser.add_argument("--final-epochs", type=int, default=2)
+    parser.add_argument(
+        "--no-save", action="store_true",
+        help="skip writing benchmarks/results/ (smoke runs)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.check:
+        check_gate()
+    else:
+        result_table, matrix_report = run_robustness_matrix(
+            n_candidates=cli_args.candidates, final_epochs=cli_args.final_epochs
+        )
+        if cli_args.no_save:
+            print("\n" + result_table.render())
+        else:
+            print_and_save(result_table, "robustness_matrix")
+            RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+            out = RESULTS_DIR / "robustness_matrix.json"
+            out.write_text(json.dumps(matrix_report, indent=2) + "\n")
+            print(f"matrix JSON written to {out}")

@@ -62,15 +62,28 @@ def _finish_observability(args: argparse.Namespace, trace_path: str | None) -> N
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from .data import get_spec, list_datasets
-    from .data.datasets import SOURCE_DATASETS
+    from .data.datasets import DIRTY_DATASETS, SOURCE_DATASETS
 
-    print(f"{'name':<14} {'role':<7} {'N':>4} {'T':>6}   {'paper N':>7} {'paper T':>8}")
+    print(
+        f"{'name':<23} {'role':<7} {'N':>4} {'T':>6}   {'paper N':>7} "
+        f"{'paper T':>8}   corruption"
+    )
     for name in list_datasets():
         spec = get_spec(name)
-        role = "source" if name in SOURCE_DATASETS else "target"
+        if name in DIRTY_DATASETS:
+            role = "dirty"
+        elif name in SOURCE_DATASETS:
+            role = "source"
+        else:
+            role = "target"
+        dirty = (
+            f"{spec.corruption}@{spec.severity:g} ({spec.imputation})"
+            if spec.corruption
+            else "-"
+        )
         print(
-            f"{name:<14} {role:<7} {spec.n_series:>4} {spec.n_steps:>6}   "
-            f"{spec.paper_n_series:>7} {spec.paper_n_steps:>8}"
+            f"{name:<23} {role:<7} {spec.n_series:>4} {spec.n_steps:>6}   "
+            f"{spec.paper_n_series:>7} {spec.paper_n_steps:>8}   {dirty}"
         )
     return 0
 
@@ -93,6 +106,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from .tasks import Task
 
     data = get_dataset(args.dataset, seed=args.seed)
+    if args.corruption:
+        from .data import corrupt_dataset
+
+        data = corrupt_dataset(
+            data,
+            args.corruption,
+            severity=args.severity,
+            seed=args.seed,
+            imputation=args.imputation,
+        )
+        observed = 1.0 if data.mask is None else float(data.mask.mean())
+        print(
+            f"injected {args.corruption}@{args.severity:g} "
+            f"({1 - observed:.1%} of entries untrusted, imputed via "
+            f"{args.imputation})"
+        )
     task = Task(
         data, p=args.p, q=args.q, single_step=args.single_step,
         max_train_windows=args.max_windows,
@@ -296,14 +325,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     import time
 
     base = _service_url(args)
+    if args.values_file:
+        with open(args.values_file) as handle:
+            task_spec = json.load(handle)
+        task_spec.setdefault("name", args.dataset)
+    else:
+        task_spec = {"dataset": args.dataset, "seed": args.seed}
+    task_spec.update(p=args.p, q=args.q)
+    if args.imputation:
+        # Only meaningful for inline payloads: lets the service repair
+        # NaN/null entries (otherwise rejected with a 422) and record them
+        # in the task's observation mask.
+        task_spec["imputation"] = args.imputation
     payload = {
         "kind": args.kind,
-        "task": {
-            "dataset": args.dataset,
-            "p": args.p,
-            "q": args.q,
-            "seed": args.seed,
-        },
+        "task": task_spec,
         "options": json.loads(args.options) if args.options else {},
         "runtime": json.loads(args.runtime) if args.runtime else {},
     }
@@ -386,6 +422,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=5)
     train.add_argument("--batch-size", type=int, default=64)
     train.add_argument("--max-windows", type=int, default=256)
+    train.add_argument(
+        "--corruption",
+        default=None,
+        help="inject a seeded corruption profile before training "
+        "(e.g. block_missing; see repro.data.corruption)",
+    )
+    train.add_argument(
+        "--severity",
+        type=float,
+        default=0.3,
+        help="corruption severity in (0, 1] for --corruption",
+    )
+    train.add_argument(
+        "--imputation",
+        default="mean",
+        choices=("mean", "ffill", "linear"),
+        help="imputation policy repairing entries dropped by --corruption",
+    )
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save", default=None, help="directory to save the model")
     train.set_defaults(func=_cmd_train)
@@ -393,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     search = sub.add_parser("search", help="zero-shot AutoCTS++ search")
     search.add_argument("dataset")
     search.add_argument("--setting", default="P-12/Q-12")
-    search.add_argument("--scale", default="tiny", choices=("tiny", "smoke"))
+    search.add_argument("--scale", default="tiny", choices=("tiny", "smoke", "dirty"))
     search.add_argument("--seed", type=int, default=0)
     search.add_argument(
         "--workers",
@@ -450,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     autocts.add_argument("dataset")
     autocts.add_argument("--setting", default="P-12/Q-12")
-    autocts.add_argument("--scale", default="tiny", choices=("tiny", "smoke"))
+    autocts.add_argument("--scale", default="tiny", choices=("tiny", "smoke", "dirty"))
     autocts.add_argument("--seed", type=int, default=0)
     autocts.add_argument(
         "--samples",
@@ -501,7 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=8737,
         help="listen port (0 binds an ephemeral port)",
     )
-    serve.add_argument("--scale", default="smoke", choices=("tiny", "smoke"))
+    serve.add_argument("--scale", default="smoke", choices=("tiny", "smoke", "dirty"))
     serve.add_argument(
         "--variant", default="full", help="pre-trained T-AHC variant to serve"
     )
@@ -536,6 +590,21 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--p", type=int, default=6)
     submit.add_argument("--q", type=int, default=6)
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--values-file",
+        default=None,
+        metavar="JSON",
+        help="ship an inline task from a JSON file with 'values' (N,T,F "
+        "nested lists) and 'adjacency' instead of a registered dataset; "
+        "the positional dataset argument becomes the task name",
+    )
+    submit.add_argument(
+        "--imputation",
+        default=None,
+        choices=("mean", "ffill", "linear"),
+        help="imputation policy for NaN/null entries in an inline payload "
+        "(without it, dirty payloads are rejected with a 422)",
+    )
     submit.add_argument(
         "--url",
         default=None,

@@ -23,9 +23,9 @@ import numpy as np
 
 from ..autodiff import Tensor, no_grad
 from ..autodiff.pool import BufferPool, pooling_allowed
-from ..data.windows import WindowSet, iterate_batches
+from ..data.windows import WindowSet, iterate_batches, iterate_masked_batches
 from ..metrics import ForecastScores, evaluate_forecast
-from ..nn.loss import mae_loss
+from ..nn.loss import mae_loss, masked_mae_loss
 from ..nn.module import Module
 from ..obs.trace import span
 from ..optim import Adam, clip_grad_norm, grad_norm
@@ -114,10 +114,18 @@ def train_forecaster(
         for epoch in range(config.epochs):
             model.train()
             epoch_losses = []
-            for x, y in iterate_batches(train_windows, config.batch_size, rng=rng):
+            for x, y, y_mask in iterate_masked_batches(
+                train_windows, config.batch_size, rng=rng
+            ):
                 with pool.step() if pool is not None else nullcontext():
                     optimizer.zero_grad()
-                    loss = mae_loss(model(Tensor(x)), y)
+                    # Maskless batches take the exact historical loss chain
+                    # (bitwise-identical clean path); masked batches exclude
+                    # unobserved targets from the objective.
+                    if y_mask is None:
+                        loss = mae_loss(model(Tensor(x)), y)
+                    else:
+                        loss = masked_mae_loss(model(Tensor(x)), y, mask=y_mask)
                     loss_value = loss.item()
                     step += 1
                     if monitor is not None and not monitor.check_loss(
@@ -179,13 +187,18 @@ def evaluate_forecaster(
     batch_size: int = 64,
     inverse: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> ForecastScores:
-    """Score ``model`` on ``windows``; ``inverse`` maps back to raw units."""
+    """Score ``model`` on ``windows``; ``inverse`` maps back to raw units.
+
+    When the windows carry an observation mask, unobserved targets are
+    excluded from every metric (the model is never scored against imputed
+    or corrupted entries).
+    """
     predictions = predict(model, windows, batch_size)
     targets = windows.y
     if inverse is not None:
         predictions = inverse(predictions)
         targets = inverse(targets)
-    return evaluate_forecast(predictions, targets)
+    return evaluate_forecast(predictions, targets, mask=windows.y_mask)
 
 
 def evaluate_by_horizon(
@@ -205,6 +218,10 @@ def evaluate_by_horizon(
         predictions = inverse(predictions)
         targets = inverse(targets)
     return [
-        evaluate_forecast(predictions[:, step], targets[:, step])
+        evaluate_forecast(
+            predictions[:, step],
+            targets[:, step],
+            mask=None if windows.y_mask is None else windows.y_mask[:, step],
+        )
         for step in range(targets.shape[1])
     ]

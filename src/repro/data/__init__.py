@@ -1,8 +1,17 @@
 """Correlated time series data substrate: datasets, windows, graphs, scalers."""
 
+from .corruption import (
+    CORRUPTION_PROFILES,
+    CorruptionProfile,
+    CorruptionResult,
+    apply_profile,
+    corrupt_dataset,
+    list_profiles,
+)
 from .datasets import (
     CTSData,
     DATASET_SPECS,
+    DIRTY_DATASETS,
     DatasetSpec,
     NonFiniteDataError,
     NonFiniteReport,
@@ -24,11 +33,24 @@ from .graph import (
 )
 from .scalers import StandardScaler
 from . import transforms
-from .windows import WindowSet, iterate_batches, make_windows, split_windows
+from .windows import (
+    WindowSet,
+    iterate_batches,
+    iterate_masked_batches,
+    make_windows,
+    split_windows,
+)
 
 __all__ = [
+    "CORRUPTION_PROFILES",
+    "CorruptionProfile",
+    "CorruptionResult",
+    "apply_profile",
+    "corrupt_dataset",
+    "list_profiles",
     "CTSData",
     "DATASET_SPECS",
+    "DIRTY_DATASETS",
     "DatasetSpec",
     "NonFiniteDataError",
     "NonFiniteReport",
@@ -49,6 +71,7 @@ __all__ = [
     "transforms",
     "WindowSet",
     "iterate_batches",
+    "iterate_masked_batches",
     "make_windows",
     "split_windows",
 ]

@@ -1,0 +1,330 @@
+"""Seeded corruption injection for dirty-data robustness.
+
+Real correlated time series from large sensor fleets are never clean: sensors
+go dark for hours (outages), transmit garbage (point anomalies), get
+recalibrated or replaced (level/regime shifts), and report on irregular
+clocks (sampling gaps).  This module turns those failure modes into
+*composable, deterministic* corruption primitives so every stage of the
+system — sample collection, curriculum pre-training, zero-shot ranking,
+forecaster training, and the HTTP service — can be exercised against dirty
+tasks that are exactly reproducible under :func:`~repro.utils.seeding.derive_rng`.
+
+Mask semantics (the contract every consumer relies on):
+
+* Each injector returns a :class:`CorruptionResult` carrying the corrupted
+  ``values``, a boolean observation ``mask``, and the untouched ``clean``
+  reference.
+* ``mask[i, t, f] is True`` **iff** the entry is a trustworthy observation,
+  i.e. ``values[i, t, f] == clean[i, t, f]``.  Dropped entries are NaN (and
+  masked out); modified-in-place entries (anomalies, level shifts) stay
+  finite but are masked out too, so masked losses and metrics never score a
+  model against corrupted ground truth.
+* Every non-finite entry is masked out: ``isnan(values) ⊆ ~mask``.
+
+Profiles compose primitives at a single ``severity`` knob in ``(0, 1]`` and
+are applied through :func:`apply_profile`, which derives its RNG from
+``(seed, "corruption", profile, key)`` — the same corruption lands bitwise
+identically no matter where in a pipeline it is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..utils.seeding import derive_rng
+
+
+@dataclass(frozen=True)
+class CorruptionResult:
+    """One corrupted array: dirty values, observation mask, clean reference.
+
+    ``values`` holds NaN at dropped entries; ``mask`` is boolean with the
+    same shape (``True`` = trusted observation); ``clean`` is the input,
+    untouched.
+    """
+
+    values: np.ndarray
+    mask: np.ndarray
+    clean: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.mask.shape or self.values.shape != self.clean.shape:
+            raise ValueError(
+                f"values {self.values.shape}, mask {self.mask.shape}, and "
+                f"clean {self.clean.shape} must share one shape"
+            )
+        if self.mask.dtype != np.bool_:
+            raise ValueError(f"mask must be boolean, got {self.mask.dtype}")
+
+    @property
+    def corrupted_fraction(self) -> float:
+        """Fraction of entries that are no longer trusted observations."""
+        return float((~self.mask).mean())
+
+
+def _as_ntf(values: np.ndarray) -> np.ndarray:
+    """Validate and return a float ``(N, T, F)`` array (copy-free)."""
+    values = np.asarray(values)
+    if values.ndim != 3:
+        raise ValueError(f"corruption expects (N, T, F) values, got {values.shape}")
+    return values
+
+
+def _series_std(values: np.ndarray) -> np.ndarray:
+    """Per-(series, feature) std ``(N, 1, F)`` with zero-variance fallback."""
+    std = np.nanstd(values, axis=1, keepdims=True)
+    return np.where(std > 0, std, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Injection primitives
+# ---------------------------------------------------------------------------
+
+
+def inject_sensor_outage(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    sensor_fraction: float = 0.25,
+    length_fraction: float = 0.25,
+) -> CorruptionResult:
+    """Contiguous whole-sensor outages: chosen sensors go dark (NaN) for a
+    contiguous time block across every feature."""
+    clean = _as_ntf(values)
+    n, t, _ = clean.shape
+    corrupted = clean.astype(np.float64, copy=True)
+    mask = np.ones(clean.shape, dtype=bool)
+    n_sensors = max(1, int(round(sensor_fraction * n)))
+    length = min(t, max(1, int(round(length_fraction * t))))
+    sensors = rng.choice(n, size=n_sensors, replace=False)
+    for sensor in np.sort(sensors):
+        start = int(rng.integers(0, t - length + 1))
+        corrupted[sensor, start : start + length, :] = np.nan
+        mask[sensor, start : start + length, :] = False
+    return CorruptionResult(corrupted, mask, clean)
+
+
+def inject_block_missing(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    rate: float = 0.2,
+    block_length: int = 8,
+) -> CorruptionResult:
+    """Block missingness: NaN blocks dropped per series until roughly
+    ``rate`` of each series' timesteps are gone."""
+    if not 0 <= rate < 1:
+        raise ValueError(f"rate must be in [0, 1), got {rate}")
+    clean = _as_ntf(values)
+    n, t, _ = clean.shape
+    corrupted = clean.astype(np.float64, copy=True)
+    mask = np.ones(clean.shape, dtype=bool)
+    block = min(max(1, block_length), t)
+    blocks_per_series = int(round(rate * t / block))
+    for series in range(n):
+        for _ in range(blocks_per_series):
+            start = int(rng.integers(0, t - block + 1))
+            corrupted[series, start : start + block, :] = np.nan
+            mask[series, start : start + block, :] = False
+    return CorruptionResult(corrupted, mask, clean)
+
+
+def inject_point_anomalies(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    rate: float = 0.02,
+    magnitude: float = 8.0,
+) -> CorruptionResult:
+    """Point anomalies: isolated entries get a large additive spike (scaled
+    by the series' std).  The entries stay finite but are masked out — they
+    are observations of a broken sensor, not of the process."""
+    if not 0 <= rate < 1:
+        raise ValueError(f"rate must be in [0, 1), got {rate}")
+    clean = _as_ntf(values)
+    corrupted = clean.astype(np.float64, copy=True)
+    hit = rng.random(clean.shape) < rate
+    signs = np.where(rng.random(clean.shape) < 0.5, -1.0, 1.0)
+    spikes = magnitude * _series_std(clean) * signs
+    corrupted = np.where(hit, corrupted + spikes, corrupted)
+    # A spike of exactly zero would leave the entry equal to its clean value;
+    # magnitude * std is strictly positive, so every hit entry truly changes.
+    return CorruptionResult(corrupted, ~hit, clean)
+
+
+def inject_level_shift(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    magnitude: float = 3.0,
+    shift_fraction: float = 0.5,
+) -> CorruptionResult:
+    """Level/regime shift: a per-series changepoint after which the series
+    is offset by ``magnitude`` stds (sensor recalibration / regime change).
+    Every shifted entry is masked out — it no longer matches the clean
+    reference the rest of the pipeline is scored against."""
+    clean = _as_ntf(values)
+    n, t, _ = clean.shape
+    corrupted = clean.astype(np.float64, copy=True)
+    mask = np.ones(clean.shape, dtype=bool)
+    n_shifted = max(1, int(round(shift_fraction * n)))
+    shifted = np.sort(rng.choice(n, size=n_shifted, replace=False))
+    std = _series_std(clean)
+    for series in shifted:
+        changepoint = int(rng.integers(t // 4, 3 * t // 4 + 1))
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        corrupted[series, changepoint:, :] += sign * magnitude * std[series]
+        mask[series, changepoint:, :] = False
+    return CorruptionResult(corrupted, mask, clean)
+
+
+def inject_irregular_sampling(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    rate: float = 0.15,
+) -> CorruptionResult:
+    """Irregular sampling: individual timestamps dropped independently per
+    series (NaN across all features), as if the sensor reported on its own
+    jittery clock and the regular grid has holes."""
+    if not 0 <= rate < 1:
+        raise ValueError(f"rate must be in [0, 1), got {rate}")
+    clean = _as_ntf(values)
+    n, t, _ = clean.shape
+    corrupted = clean.astype(np.float64, copy=True)
+    dropped = rng.random((n, t)) < rate  # one clock per series, all features
+    mask = np.broadcast_to(~dropped[..., None], clean.shape).copy()
+    corrupted[~mask] = np.nan
+    return CorruptionResult(corrupted, mask, clean)
+
+
+# ---------------------------------------------------------------------------
+# Severity-parameterized profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorruptionProfile:
+    """One named corruption profile: a chain of severity-scaled injectors.
+
+    ``steps`` maps a ``severity`` in ``(0, 1]`` to the keyword arguments of
+    each injector; chained injectors see the previous step's output and the
+    masks AND together, so composition preserves the mask contract.
+    """
+
+    name: str
+    steps: tuple[tuple[Callable[..., CorruptionResult], Callable[[float], dict]], ...]
+
+    def apply(
+        self, values: np.ndarray, rng: np.random.Generator, severity: float = 0.3
+    ) -> CorruptionResult:
+        if not 0 < severity <= 1:
+            raise ValueError(f"severity must be in (0, 1], got {severity}")
+        clean = _as_ntf(values)
+        current = clean
+        mask = np.ones(clean.shape, dtype=bool)
+        for injector, scale in self.steps:
+            result = injector(current, rng, **scale(severity))
+            current = result.values
+            mask &= result.mask
+        return CorruptionResult(current, mask, clean)
+
+
+CORRUPTION_PROFILES: dict[str, CorruptionProfile] = {
+    "sensor_outage": CorruptionProfile(
+        "sensor_outage",
+        (
+            (
+                inject_sensor_outage,
+                lambda s: {"sensor_fraction": s, "length_fraction": 0.2 + 0.3 * s},
+            ),
+        ),
+    ),
+    "block_missing": CorruptionProfile(
+        "block_missing",
+        ((inject_block_missing, lambda s: {"rate": min(s, 0.95), "block_length": 8}),),
+    ),
+    "point_anomalies": CorruptionProfile(
+        "point_anomalies",
+        ((inject_point_anomalies, lambda s: {"rate": 0.1 * s, "magnitude": 8.0}),),
+    ),
+    "level_shift": CorruptionProfile(
+        "level_shift",
+        (
+            (
+                inject_level_shift,
+                lambda s: {"magnitude": 1.0 + 4.0 * s, "shift_fraction": 0.5},
+            ),
+        ),
+    ),
+    "irregular_sampling": CorruptionProfile(
+        "irregular_sampling",
+        ((inject_irregular_sampling, lambda s: {"rate": min(s, 0.95)}),),
+    ),
+    # Compound profile: the "everything at once" stress case.
+    "mixed": CorruptionProfile(
+        "mixed",
+        (
+            (inject_block_missing, lambda s: {"rate": min(0.5 * s, 0.95)}),
+            (inject_point_anomalies, lambda s: {"rate": 0.05 * s, "magnitude": 8.0}),
+            (inject_irregular_sampling, lambda s: {"rate": min(0.25 * s, 0.95)}),
+        ),
+    ),
+}
+
+
+def list_profiles() -> list[str]:
+    """Names of every registered corruption profile."""
+    return sorted(CORRUPTION_PROFILES)
+
+
+def apply_profile(
+    profile: str,
+    values: np.ndarray,
+    severity: float = 0.3,
+    seed: int = 0,
+    key: str = "",
+) -> CorruptionResult:
+    """Apply a named profile deterministically under ``derive_rng``.
+
+    The RNG stream is derived from ``(seed, "corruption", profile, key)``:
+    two call sites asking for the same corruption of the same logical object
+    (``key`` — typically the dataset name) get bitwise-identical dirt, and
+    the stream is independent of every other consumer of ``seed``.
+    """
+    if profile not in CORRUPTION_PROFILES:
+        raise KeyError(f"unknown corruption profile {profile!r}; known: {list_profiles()}")
+    rng = derive_rng(seed, "corruption", profile, key)
+    return CORRUPTION_PROFILES[profile].apply(values, rng, severity=severity)
+
+
+def corrupt_dataset(
+    data,
+    profile: str,
+    severity: float = 0.3,
+    seed: int = 0,
+    imputation: str = "mean",
+    name: str | None = None,
+):
+    """A dirty copy of a :class:`~repro.data.datasets.CTSData`.
+
+    The corruption is seeded by ``(seed, "corruption", profile, data.name)``,
+    dropped entries are repaired with the requested imputation policy (the
+    values a model trains on must be finite), and the observation mask rides
+    on the returned dataset so every mask-aware stage downstream excludes
+    untrusted entries from statistics, losses, and metrics.
+    """
+    from .datasets import CTSData
+    from .transforms import impute_missing
+
+    result = apply_profile(
+        profile, data.values, severity=severity, seed=seed, key=data.name
+    )
+    filled = impute_missing(result.values, result.mask, policy=imputation)
+    mask = result.mask if data.mask is None else (result.mask & data.mask)
+    return CTSData(
+        name=name or f"{data.name}~{profile}@{severity:g}",
+        values=filled.astype(data.values.dtype),
+        adjacency=data.adjacency,
+        domain=data.domain,
+        steps_per_day=data.steps_per_day,
+        mask=mask,
+    )

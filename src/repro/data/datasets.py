@@ -99,6 +99,14 @@ class CTSData:
     :class:`NonFiniteDataError` naming the affected sensors and timesteps.
     Use :func:`sanitize_values` (``on_non_finite="impute"``) to repair an
     array before construction instead of rejecting it.
+
+    ``mask`` is the optional observation mask (boolean, same shape as
+    ``values``, ``True`` = trusted observation; see
+    :mod:`repro.data.corruption` for the semantics).  Values must be finite
+    even when a mask is present — imputation happens *before* construction;
+    the mask records which entries are repaired/untrusted so downstream
+    statistics, losses, and metrics can exclude them.  ``mask=None`` is the
+    clean-data path and must stay bitwise-identical to a maskless build.
     """
 
     name: str
@@ -106,6 +114,7 @@ class CTSData:
     adjacency: np.ndarray
     domain: str
     steps_per_day: int = 288
+    mask: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.values.ndim != 3:
@@ -115,6 +124,13 @@ class CTSData:
             raise ValueError(
                 f"adjacency {self.adjacency.shape} inconsistent with N={n}"
             )
+        if self.mask is not None:
+            if self.mask.shape != self.values.shape:
+                raise ValueError(
+                    f"mask shape {self.mask.shape} != values shape {self.values.shape}"
+                )
+            if self.mask.dtype != np.bool_:
+                raise ValueError(f"mask must be boolean, got {self.mask.dtype}")
         report = non_finite_report(self.values)
         if report is not None:
             raise NonFiniteDataError(self.name, report)
@@ -152,6 +168,7 @@ class CTSData:
             self,
             name=name or f"{self.name}[{start}:{end}]",
             values=self.values[:, start:end],
+            mask=None if self.mask is None else self.mask[:, start:end],
         )
 
     def select_nodes(self, nodes: np.ndarray, name: str | None = None) -> "CTSData":
@@ -164,12 +181,22 @@ class CTSData:
             name=name or f"{self.name}|nodes={nodes.size}",
             values=self.values[nodes],
             adjacency=subsample_adjacency(self.adjacency, nodes),
+            mask=None if self.mask is None else self.mask[nodes],
         )
 
 
 @dataclass(frozen=True)
 class DatasetSpec:
-    """Registry entry: which generator family, at which (scaled) size."""
+    """Registry entry: which generator family, at which (scaled) size.
+
+    ``corruption`` names a profile from
+    :data:`~repro.data.corruption.CORRUPTION_PROFILES`; when set,
+    :func:`get_dataset` generates the clean series, injects the profile at
+    ``severity`` under a seed derived from the dataset name, repairs the
+    dropped entries with the ``imputation`` policy, and attaches the
+    observation mask.  ``corruption=None`` (all pre-existing specs) is the
+    untouched clean path.
+    """
 
     family: str
     n_series: int
@@ -180,6 +207,9 @@ class DatasetSpec:
     split_ratio_multi: tuple[int, int, int] = (7, 1, 2)
     split_ratio_single: tuple[int, int, int] = (6, 2, 2)
     generator_kwargs: dict = field(default_factory=dict)
+    corruption: str | None = None
+    severity: float = 0.3
+    imputation: str = "mean"
 
 
 # Sizes below scale the paper's Table 3 down by roughly 16x in N and T while
@@ -219,7 +249,34 @@ TARGET_DATASETS: dict[str, DatasetSpec] = {
     ),
 }
 
-DATASET_SPECS: dict[str, DatasetSpec] = {**SOURCE_DATASETS, **TARGET_DATASETS}
+def _dirty(base: DatasetSpec, corruption: str, severity: float, **overrides) -> DatasetSpec:
+    """A corrupted variant of a registered spec (same generator and sizes)."""
+    return replace(base, corruption=corruption, severity=severity, **overrides)
+
+
+# Dirty-task bank: corrupted variants of the benchmark datasets, so the
+# comparator pretrains on imperfect tasks and zero-shot ranking can be
+# evaluated out of the clean distribution (ROADMAP item 5).  The "-XL-"
+# variant doubles N on top of corruption as a larger-fleet stress case.
+DIRTY_DATASETS: dict[str, DatasetSpec] = {
+    "PEMS08-missing": _dirty(SOURCE_DATASETS["PEMS08"], "block_missing", 0.25),
+    "PEMS08-outage": _dirty(SOURCE_DATASETS["PEMS08"], "sensor_outage", 0.3),
+    "METR-LA-anomaly": _dirty(SOURCE_DATASETS["METR-LA"], "point_anomalies", 0.3),
+    "ETTh1-shift": _dirty(SOURCE_DATASETS["ETTh1"], "level_shift", 0.4),
+    "Solar-Energy-irregular": _dirty(
+        SOURCE_DATASETS["Solar-Energy"], "irregular_sampling", 0.3, imputation="linear"
+    ),
+    "PEMS07-XL-missing": _dirty(
+        SOURCE_DATASETS["PEMS07"], "block_missing", 0.3, n_series=32, imputation="ffill"
+    ),
+    "SZ-TAXI-missing": _dirty(TARGET_DATASETS["SZ-TAXI"], "block_missing", 0.25),
+}
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    **SOURCE_DATASETS,
+    **TARGET_DATASETS,
+    **DIRTY_DATASETS,
+}
 
 
 def list_datasets() -> list[str]:
@@ -231,14 +288,19 @@ def sanitize_values(
     values: np.ndarray,
     name: str = "<unnamed>",
     on_non_finite: str = "raise",
+    policy: str = "mean",
+    mask: np.ndarray | None = None,
 ) -> tuple[np.ndarray, NonFiniteReport | None]:
     """Validate (or repair) a raw value array before it becomes a dataset.
 
     ``on_non_finite="raise"`` rejects corrupt data with a
-    :class:`NonFiniteDataError`; ``"impute"`` replaces NaN/Inf entries with
-    their series' finite mean (see
-    :func:`~repro.data.transforms.impute_non_finite`) and returns the report
-    of what was repaired.  Clean arrays pass through untouched.
+    :class:`NonFiniteDataError`; ``"impute"`` repairs NaN/Inf entries under
+    ``policy`` (one of :data:`~repro.data.transforms.IMPUTATION_POLICIES`:
+    per-series mean, forward-fill, or linear interpolation) and returns the
+    report of what was repaired.  ``mask`` optionally restricts which
+    entries may anchor the fill statistics (see
+    :func:`~repro.data.transforms.impute_missing`).  Clean arrays pass
+    through untouched.
     """
     if on_non_finite not in ("raise", "impute"):
         raise ValueError(
@@ -249,9 +311,13 @@ def sanitize_values(
         return values, None
     if on_non_finite == "raise":
         raise NonFiniteDataError(name, report)
-    from .transforms import impute_non_finite
+    from .transforms import impute_missing, impute_non_finite
 
-    return impute_non_finite(values), report
+    if policy == "mean" and mask is None:
+        # The historical repair path, kept verbatim so existing callers stay
+        # bitwise-identical.
+        return impute_non_finite(values), report
+    return impute_missing(values, mask, policy=policy), report
 
 
 def get_dataset(name: str, seed: int = 0) -> CTSData:
@@ -265,13 +331,25 @@ def get_dataset(name: str, seed: int = 0) -> CTSData:
     if spec.family not in ("exchange_rate",):
         kwargs.setdefault("steps_per_day", spec.steps_per_day)
     values, adjacency = generator(spec.n_series, spec.n_steps, rng, **kwargs)
-    return CTSData(
+    data = CTSData(
         name=name,
         values=values.astype(np.float32),
         adjacency=adjacency,
         domain=spec.family,
         steps_per_day=spec.steps_per_day,
     )
+    if spec.corruption is not None:
+        from .corruption import corrupt_dataset
+
+        data = corrupt_dataset(
+            data,
+            spec.corruption,
+            severity=spec.severity,
+            seed=seed,
+            imputation=spec.imputation,
+            name=name,
+        )
+    return data
 
 
 def get_spec(name: str) -> DatasetSpec:

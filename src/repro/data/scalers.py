@@ -16,11 +16,29 @@ class StandardScaler:
         self.mean_: np.ndarray | None = None
         self.std_: np.ndarray | None = None
 
-    def fit(self, values: np.ndarray) -> "StandardScaler":
-        """Fit over all axes except the trailing feature axis."""
+    def fit(self, values: np.ndarray, mask: np.ndarray | None = None) -> "StandardScaler":
+        """Fit over all axes except the trailing feature axis.
+
+        ``mask`` (boolean, same shape, ``True`` = trusted observation)
+        restricts the statistics to observed entries, so imputed outage
+        fills do not drag the mean toward the fill value.  ``mask=None`` is
+        the historical path, kept verbatim for bitwise identity on clean
+        data.  An all-masked feature falls back to mean 0 / std 1.
+        """
         axes = tuple(range(values.ndim - 1))
-        self.mean_ = values.mean(axis=axes)
-        std = values.std(axis=axes)
+        if mask is None:
+            self.mean_ = values.mean(axis=axes)
+            std = values.std(axis=axes)
+        else:
+            if mask.shape != values.shape:
+                raise ValueError(
+                    f"mask shape {mask.shape} != values shape {values.shape}"
+                )
+            weight = mask.astype(values.dtype)
+            count = np.maximum(weight.sum(axis=axes), 1.0)
+            self.mean_ = (values * weight).sum(axis=axes) / count
+            centered = (values - self.mean_) * weight
+            std = np.sqrt((centered * centered).sum(axis=axes) / count)
         std[std == 0] = 1.0
         self.std_ = std
         return self

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .corruption import CorruptionResult, inject_irregular_sampling
+
 
 def jitter(values: np.ndarray, rng: np.random.Generator, sigma: float = 0.03) -> np.ndarray:
     """Additive Gaussian noise scaled by the series' standard deviation."""
@@ -38,14 +40,98 @@ def random_crop(
 
 def timestamp_mask(
     values: np.ndarray, rng: np.random.Generator, rate: float = 0.15
+) -> CorruptionResult:
+    """Drop random timestamps as NaN-with-mask (TS2Vec's masking augmentation).
+
+    Dropped timestamps used to be zero-filled, which conflated outages with
+    legitimate zero readings; now they become NaN and the returned
+    :class:`~repro.data.corruption.CorruptionResult` records *which* entries
+    were dropped, so callers can impute and score mask-aware.
+    """
+    values = np.asarray(values)
+    t, f = values.shape[-2:]
+    result = inject_irregular_sampling(values.reshape(-1, t, f), rng, rate=rate)
+    return CorruptionResult(
+        result.values.reshape(values.shape),
+        result.mask.reshape(values.shape),
+        values,
+    )
+
+
+IMPUTATION_POLICIES = ("mean", "ffill", "linear")
+
+
+def impute_missing(
+    values: np.ndarray, mask: np.ndarray | None = None, policy: str = "mean"
 ) -> np.ndarray:
-    """Zero out random timestamps (TS2Vec's masking augmentation)."""
-    if not 0 <= rate < 1:
-        raise ValueError(f"mask rate must be in [0, 1), got {rate}")
-    masked = values.copy()
-    drop = rng.random(values.shape[:-1]) < rate
-    masked[drop] = 0.0
-    return masked
+    """Repair non-finite entries of a ``(..., T, F)`` array under a policy.
+
+    ``mask`` (boolean, same shape, ``True`` = trusted observation) restricts
+    which entries feed the fill statistics; untrusted-but-finite entries
+    (e.g. point anomalies) are kept as-is — they are what a model sees in the
+    wild — but never contribute to means or interpolation anchors.  Finite
+    entries are returned bit-identical; only NaN/Inf positions are written.
+
+    Policies:
+
+    * ``"mean"`` — per-(series, feature) mean of observed finite timesteps;
+    * ``"ffill"`` — last observed value carried forward, then the first
+      observed value carried backward over any leading gap;
+    * ``"linear"`` — linear interpolation between observed anchors along
+      time, clamped to the edge anchors outside them.
+
+    A (series, feature) slice with no observed finite entry falls back to
+    0.0 under every policy.
+    """
+    if policy not in IMPUTATION_POLICIES:
+        raise ValueError(
+            f"unknown imputation policy {policy!r}; expected one of {IMPUTATION_POLICIES}"
+        )
+    values = np.asarray(values)
+    if values.ndim < 2:
+        raise ValueError(f"impute_missing expects (..., T, F) values, got {values.shape}")
+    with np.errstate(invalid="ignore"):
+        finite = np.isfinite(values)
+    if finite.all():
+        return values
+    t, f = values.shape[-2:]
+    flat = values.reshape(-1, t, f).astype(np.float64, copy=True)
+    observed = finite.reshape(-1, t, f).copy()
+    if mask is not None:
+        mask = np.asarray(mask)
+        if mask.shape != values.shape:
+            raise ValueError(f"mask shape {mask.shape} != values shape {values.shape}")
+        observed &= mask.reshape(-1, t, f)
+
+    if policy == "mean":
+        anchored = np.where(observed, flat, 0.0)
+        count = observed.sum(axis=1, keepdims=True)
+        fill = np.broadcast_to(
+            anchored.sum(axis=1, keepdims=True) / np.maximum(count, 1), flat.shape
+        )
+    elif policy == "ffill":
+        steps = np.arange(t)[None, :, None]
+        last = np.maximum.accumulate(np.where(observed, steps, -1), axis=1)
+        forward = np.take_along_axis(flat, np.maximum(last, 0), axis=1)
+        nxt = np.flip(
+            np.minimum.accumulate(np.flip(np.where(observed, steps, t), axis=1), axis=1),
+            axis=1,
+        )
+        backward = np.take_along_axis(flat, np.minimum(nxt, t - 1), axis=1)
+        fill = np.where(last >= 0, forward, np.where(nxt < t, backward, 0.0))
+    else:  # linear
+        fill = np.zeros_like(flat)
+        for series in range(flat.shape[0]):
+            for feature in range(f):
+                anchors = np.flatnonzero(observed[series, :, feature])
+                if anchors.size:
+                    fill[series, :, feature] = np.interp(
+                        np.arange(t), anchors, flat[series, anchors, feature]
+                    )
+    repaired = np.where(finite.reshape(-1, t, f), flat, fill).reshape(values.shape)
+    if np.issubdtype(values.dtype, np.floating):
+        repaired = repaired.astype(values.dtype)
+    return repaired
 
 
 def impute_non_finite(values: np.ndarray) -> np.ndarray:
@@ -76,15 +162,24 @@ def missing_blocks(
     rng: np.random.Generator,
     n_blocks: int = 2,
     block_length: int = 4,
-) -> np.ndarray:
-    """Simulate sensor outages: zero out contiguous time blocks per series.
+) -> CorruptionResult:
+    """Simulate fleet-wide outages: NaN out contiguous time blocks.
 
-    Used by failure-injection tests: CTS pipelines must stay finite under
-    realistic missing-data patterns.
+    Each block hits every series at once (a collector outage, not a single
+    bad sensor — for per-series blocks use
+    :func:`~repro.data.corruption.inject_block_missing`).  Dropped entries
+    are NaN with the observation mask recording them, not zero-filled.  The
+    block start is drawn over every valid position including the last one;
+    when ``time <= block_length`` the single possible block covers the whole
+    axis instead of hitting a degenerate range.
     """
-    corrupted = values.copy()
+    values = np.asarray(values)
     time = values.shape[-2]
+    block = min(max(1, block_length), time)
+    corrupted = values.astype(np.float64, copy=True)
+    mask = np.ones(values.shape, dtype=bool)
     for _ in range(n_blocks):
-        start = int(rng.integers(0, max(time - block_length, 1)))
-        corrupted[..., start : start + block_length, :] = 0.0
-    return corrupted
+        start = int(rng.integers(0, time - block + 1))
+        corrupted[..., start : start + block, :] = np.nan
+        mask[..., start : start + block, :] = False
+    return CorruptionResult(corrupted, mask, values)

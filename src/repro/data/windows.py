@@ -3,6 +3,12 @@
 Implements the problem setting of Section 2.1: given ``P`` historical steps,
 predict either the next ``Q`` steps (multi-step, Eq. 1) or the ``Q``-th
 future step (single-step, Eq. 2).
+
+When the source :class:`~repro.data.datasets.CTSData` carries an observation
+mask, the window cutter slices it alongside the values: ``x_mask``/``y_mask``
+mirror ``x``/``y`` and mark which entries are trusted observations, so the
+trainer can exclude corrupted targets from the loss and metrics.  Maskless
+datasets produce maskless windows — the clean path is unchanged.
 """
 
 from __future__ import annotations
@@ -20,14 +26,26 @@ class WindowSet:
     """Supervised forecasting samples: ``x (num, P, N, F)``, ``y (num, H, N, F)``.
 
     ``H`` is ``Q`` for multi-step forecasting and 1 for single-step.
+    ``x_mask``/``y_mask`` (optional, boolean, same shapes) mark trusted
+    observations; ``None`` means fully observed.
     """
 
     x: np.ndarray
     y: np.ndarray
+    x_mask: np.ndarray | None = None
+    y_mask: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(self.x) != len(self.y):
             raise ValueError("x and y must contain the same number of samples")
+        if (self.x_mask is None) != (self.y_mask is None):
+            raise ValueError("x_mask and y_mask must be supplied together")
+        if self.x_mask is not None:
+            if self.x_mask.shape != self.x.shape or self.y_mask.shape != self.y.shape:
+                raise ValueError(
+                    f"mask shapes {self.x_mask.shape}/{self.y_mask.shape} do not "
+                    f"match window shapes {self.x.shape}/{self.y.shape}"
+                )
 
     def __len__(self) -> int:
         return len(self.x)
@@ -35,6 +53,15 @@ class WindowSet:
     @property
     def horizon(self) -> int:
         return self.y.shape[1]
+
+    def take(self, index) -> "WindowSet":
+        """The sub-set of samples selected by ``index`` (masks ride along)."""
+        return WindowSet(
+            self.x[index],
+            self.y[index],
+            None if self.x_mask is None else self.x_mask[index],
+            None if self.y_mask is None else self.y_mask[index],
+        )
 
 
 def make_windows(
@@ -50,14 +77,22 @@ def make_windows(
             f"dataset {data.name} has {total} steps, needs at least {span} for "
             f"P={p}, Q={q}"
         )
-    values = np.transpose(data.values, (1, 0, 2))  # (T, N, F)
     starts = range(0, total - span + 1, stride)
-    xs = np.stack([values[s : s + p] for s in starts])
-    if single_step:
-        ys = np.stack([values[s + span - 1 : s + span] for s in starts])
-    else:
-        ys = np.stack([values[s + p : s + span] for s in starts])
-    return WindowSet(x=xs, y=ys)
+
+    def cut(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        series = np.transpose(array, (1, 0, 2))  # (T, N, F)
+        xs = np.stack([series[s : s + p] for s in starts])
+        if single_step:
+            ys = np.stack([series[s + span - 1 : s + span] for s in starts])
+        else:
+            ys = np.stack([series[s + p : s + span] for s in starts])
+        return xs, ys
+
+    xs, ys = cut(data.values)
+    if data.mask is None:
+        return WindowSet(x=xs, y=ys)
+    x_mask, y_mask = cut(data.mask)
+    return WindowSet(x=xs, y=ys, x_mask=x_mask, y_mask=y_mask)
 
 
 def split_windows(
@@ -69,7 +104,7 @@ def split_windows(
     train_end = total * ratio[0] // weight
     val_end = total * (ratio[0] + ratio[1]) // weight
     slices = (slice(0, train_end), slice(train_end, val_end), slice(val_end, total))
-    parts = tuple(WindowSet(windows.x[s], windows.y[s]) for s in slices)
+    parts = tuple(windows.take(s) for s in slices)
     if any(len(part) == 0 for part in parts):
         raise ValueError(
             f"split ratio {ratio} leaves an empty partition for {total} windows"
@@ -91,3 +126,25 @@ def iterate_batches(
     for start in range(0, len(order), batch_size):
         index = order[start : start + batch_size]
         yield windows.x[index], windows.y[index]
+
+
+def iterate_masked_batches(
+    windows: WindowSet,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+    """Yield ``(x, y, y_mask)`` mini-batches; ``y_mask`` is ``None`` maskless.
+
+    Identical order and RNG consumption to :func:`iterate_batches`, so a
+    trainer switching between the two sees the same batch sequence — that is
+    what keeps the clean path bitwise-identical.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(windows))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        index = order[start : start + batch_size]
+        y_mask = None if windows.y_mask is None else windows.y_mask[index]
+        yield windows.x[index], windows.y[index], y_mask

@@ -1,6 +1,6 @@
 """Experiment harness: scales, variant pre-training, runners, reporting."""
 
-from .config import PAPER, SCALES, SMOKE, TINY, ExperimentScale, Setting
+from .config import DIRTY, PAPER, SCALES, SMOKE, TINY, ExperimentScale, Setting
 from .harness import (
     DEFAULT_CACHE_DIR,
     PretrainedArtifacts,
@@ -25,6 +25,7 @@ from .reporting import (
 
 __all__ = [
     "PAPER",
+    "DIRTY",
     "SCALES",
     "SMOKE",
     "TINY",

@@ -52,6 +52,9 @@ class ExperimentScale:
     max_train_windows: int  # cap on training windows per task (CPU budget)
     preliminary_dim: int
     embedding_windows: int
+    # (profile, severity) pairs cycled into the enrichment bank so the
+    # comparator pretrains on dirty tasks; empty = the historical clean bank.
+    enrichment_corruptions: tuple[tuple[str, float], ...] = ()
 
     def setting(self, label: str) -> Setting:
         for setting in self.settings:
@@ -175,4 +178,34 @@ SMOKE = ExperimentScale(
     embedding_windows=4,
 )
 
-SCALES = {scale.name: scale for scale in (PAPER, TINY, SMOKE)}
+# SMOKE-sized, but the task universe is dirty: corrupted registry variants as
+# sources and target, plus corruption cycling inside the enrichment bank —
+# the robustness counterpart of the clean smoke profile (ROADMAP item 5).
+DIRTY = ExperimentScale(
+    name="dirty",
+    hyper_space=SMOKE.hyper_space,
+    settings=SMOKE.settings,
+    pretrain_settings=SMOKE.pretrain_settings,
+    source_datasets=("PEMS08-missing", "ETTh1-shift"),
+    target_datasets=("SZ-TAXI-missing",),
+    n_pretrain_subsets=2,
+    shared_samples=3,
+    random_samples=2,
+    proxy_epochs=1,
+    pretrain_epochs=4,
+    pretrain_pairs_per_task=8,
+    initial_samples=8,
+    population_size=4,
+    generations=1,
+    top_k=1,
+    final_train_epochs=1,
+    baseline_train_epochs=1,
+    batch_size=64,
+    n_seeds=1,
+    max_train_windows=120,
+    preliminary_dim=8,
+    embedding_windows=4,
+    enrichment_corruptions=(("block_missing", 0.25),),
+)
+
+SCALES = {scale.name: scale for scale in (PAPER, TINY, SMOKE, DIRTY)}

@@ -102,6 +102,7 @@ def source_tasks(scale: ExperimentScale, seed: int = 0) -> list[Task]:
         n_subsets=scale.n_pretrain_subsets,
         seed=seed,
         config=EnrichmentConfig(min_windows=12),
+        corruptions=list(scale.enrichment_corruptions) or None,
     )
     return [
         Task(

@@ -57,24 +57,34 @@ def corr(prediction: np.ndarray, target: np.ndarray) -> float:
 
 
 def masked_mae(
-    prediction: np.ndarray, target: np.ndarray, null_value: float = 0.0
+    prediction: np.ndarray,
+    target: np.ndarray,
+    null_value: float = 0.0,
+    mask: np.ndarray | None = None,
 ) -> float:
-    """MAE over positions where the target is not ``null_value``.
+    """MAE over observed target positions.
 
-    Traffic datasets mark missing sensor readings with zeros; the CTS
-    literature (DCRNN onward) excludes them from evaluation.
+    An explicit boolean ``mask`` (``True`` = score this position) wins over
+    the ``null_value`` sentinel; the sentinel form mirrors the CTS
+    literature (DCRNN onward), where traffic datasets mark missing sensor
+    readings with zeros.
     """
-    mask = target != null_value
+    if mask is None:
+        mask = target != null_value
     if not mask.any():
         return 0.0
     return float(np.mean(np.abs(prediction[mask] - target[mask])))
 
 
 def masked_rmse(
-    prediction: np.ndarray, target: np.ndarray, null_value: float = 0.0
+    prediction: np.ndarray,
+    target: np.ndarray,
+    null_value: float = 0.0,
+    mask: np.ndarray | None = None,
 ) -> float:
-    """RMSE over positions where the target is not ``null_value``."""
-    mask = target != null_value
+    """RMSE over observed target positions (see :func:`masked_mae`)."""
+    if mask is None:
+        mask = target != null_value
     if not mask.any():
         return 0.0
     return float(np.sqrt(np.mean((prediction[mask] - target[mask]) ** 2)))
@@ -95,16 +105,56 @@ class ForecastScores:
         return self.rrse if single_step else self.mae
 
 
-def evaluate_forecast(prediction: np.ndarray, target: np.ndarray) -> ForecastScores:
-    """Compute every forecasting metric at once."""
+def _masked_corr(prediction: np.ndarray, target: np.ndarray, mask: np.ndarray) -> float:
+    """Per-series correlation over *observed* samples only, then averaged."""
+    pred = prediction.reshape(len(prediction), -1)
+    targ = target.reshape(len(target), -1)
+    weight = mask.reshape(len(mask), -1).astype(np.float64)
+    count = weight.sum(axis=0)
+    safe = np.maximum(count, 1.0)
+    pred_c = (pred - (pred * weight).sum(axis=0) / safe) * weight
+    targ_c = (targ - (targ * weight).sum(axis=0) / safe) * weight
+    numerator = (pred_c * targ_c).sum(axis=0)
+    denominator = np.sqrt((pred_c**2).sum(axis=0) * (targ_c**2).sum(axis=0))
+    valid = (denominator > 1e-8) & (count >= 2)
+    if not valid.any():
+        return 0.0
+    return float((numerator[valid] / denominator[valid]).mean())
+
+
+def evaluate_forecast(
+    prediction: np.ndarray, target: np.ndarray, mask: np.ndarray | None = None
+) -> ForecastScores:
+    """Compute every forecasting metric at once.
+
+    ``mask`` (boolean, same shape, ``True`` = observed) excludes corrupted
+    or missing target entries from every metric, so a model is never scored
+    against values that were imputed or injected.  ``mask=None`` is the
+    historical clean path, bitwise-identical to the pre-mask behavior.  A
+    fully-masked target scores zero across the board.
+    """
     if prediction.shape != target.shape:
         raise ValueError(
             f"prediction {prediction.shape} and target {target.shape} differ"
         )
+    if mask is None:
+        return ForecastScores(
+            mae=mae(prediction, target),
+            rmse=rmse(prediction, target),
+            mape=mape(prediction, target),
+            rrse=rrse(prediction, target),
+            corr=corr(prediction, target),
+        )
+    mask = np.asarray(mask)
+    if mask.shape != target.shape:
+        raise ValueError(f"mask {mask.shape} and target {target.shape} differ")
+    if not mask.any():
+        return ForecastScores(mae=0.0, rmse=0.0, mape=0.0, rrse=0.0, corr=0.0)
+    pred_obs, targ_obs = prediction[mask], target[mask]
     return ForecastScores(
-        mae=mae(prediction, target),
-        rmse=rmse(prediction, target),
-        mape=mape(prediction, target),
-        rrse=rrse(prediction, target),
-        corr=corr(prediction, target),
+        mae=mae(pred_obs, targ_obs),
+        rmse=rmse(pred_obs, targ_obs),
+        mape=mape(pred_obs, targ_obs),
+        rrse=rrse(pred_obs, targ_obs),
+        corr=_masked_corr(prediction, target, mask),
     )

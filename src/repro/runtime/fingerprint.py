@@ -44,7 +44,7 @@ def task_fingerprint_material(task: Task) -> dict:
     into a different subset, invalidates cached scores automatically.
     """
     data = task.data
-    return {
+    material = {
         "dataset": data.name,
         "domain": data.domain,
         "steps_per_day": data.steps_per_day,
@@ -56,6 +56,12 @@ def task_fingerprint_material(task: Task) -> dict:
         "split_ratio": list(task.split_ratio),
         "max_train_windows": task.max_train_windows,
     }
+    # The observation mask changes scaler statistics, the loss, and the
+    # metrics, so it is score-relevant; the key is added only when a mask is
+    # present so every pre-existing clean-task fingerprint stays unchanged.
+    if data.mask is not None:
+        material["mask_sha256"] = _array_digest(data.mask)
+    return material
 
 
 def proxy_fingerprint(

@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..data.datasets import CTSData, list_datasets
+from ..data.datasets import CTSData, list_datasets, non_finite_report, sanitize_values
+from ..data.transforms import IMPUTATION_POLICIES
 from ..runtime.evaluator import DIVERGENCE_POLICIES
 from ..runtime.fingerprint import task_fingerprint_material
 from ..space.archhyper import ArchHyper
@@ -91,6 +92,15 @@ def build_task(spec: dict) -> Task:
       — raw series shipped inline as nested lists ``(N, T, F)`` plus an
       ``(N, N)`` adjacency.
 
+    Inline payloads may be *dirty*: ``NaN``/``null`` entries (both parse to
+    NaN) are rejected with a typed 422 unless the spec requests an
+    ``"imputation"`` policy (one of
+    :data:`~repro.data.transforms.IMPUTATION_POLICIES`), in which case the
+    bad entries are repaired and recorded in the task's observation mask.
+    An explicit boolean ``"mask"`` (same nested shape, 1 = trusted
+    observation) may also be shipped to mark entries that are finite but
+    untrusted; it is ANDed with finiteness.
+
     Every validation failure (unknown dataset, bad shapes, non-finite data,
     too-short series) is re-raised as a :class:`ProtocolError`.
     """
@@ -111,17 +121,57 @@ def build_task(spec: dict) -> Task:
         values = _require(spec, "values", list, "task")
         adjacency = _require(spec, "adjacency", list, "task")
         name = _optional(spec, "name", str, "task", "inline")
+        imputation = _optional(spec, "imputation", str, "task")
+        if imputation is not None and imputation not in IMPUTATION_POLICIES:
+            raise ProtocolError(
+                f"task: unknown imputation policy {imputation!r}; "
+                f"expected one of {IMPUTATION_POLICIES}"
+            )
         try:
             values_arr = np.asarray(values, dtype=np.float32)
             adjacency_arr = np.asarray(adjacency, dtype=np.float32)
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"task: non-numeric series payload ({exc})") from exc
+        mask_arr = None
+        if _optional(spec, "mask", list, "task") is not None:
+            try:
+                mask_arr = np.asarray(spec["mask"]).astype(bool)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"task: non-boolean mask payload ({exc})") from exc
+            if mask_arr.shape != values_arr.shape:
+                raise ProtocolError(
+                    f"task: mask shape {mask_arr.shape} does not match "
+                    f"values shape {values_arr.shape}"
+                )
+        report = non_finite_report(values_arr)
+        if report is not None:
+            # json NaN literals and nulls both land here as NaN.  Refusing
+            # them without an explicit policy is deliberate: the alternative
+            # is parser-dependent, silently-zero-filled garbage.
+            if imputation is None:
+                raise ProtocolError(
+                    f"task: series payload has NaN/null entries "
+                    f"({report.describe()}); request task.imputation "
+                    f"(one of {IMPUTATION_POLICIES}) to repair them",
+                    status=422,
+                )
+            with np.errstate(invalid="ignore"):
+                finite = np.isfinite(values_arr)
+            mask_arr = finite if mask_arr is None else (mask_arr & finite)
+            values_arr, _ = sanitize_values(
+                values_arr,
+                name,
+                on_non_finite="impute",
+                policy=imputation,
+                mask=mask_arr,
+            )
         try:
             data = CTSData(
                 name=name,
                 values=values_arr,
                 adjacency=adjacency_arr,
                 domain=_optional(spec, "domain", str, "task", "service"),
+                mask=mask_arr,
             )
         except ValueError as exc:  # includes NonFiniteDataError
             raise ProtocolError(f"task: invalid series payload ({exc})") from exc

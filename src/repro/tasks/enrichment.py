@@ -71,20 +71,34 @@ def enrich_tasks(
     n_subsets: int,
     seed: int = 0,
     config: EnrichmentConfig = EnrichmentConfig(),
+    corruptions: list[tuple[str, float]] | None = None,
 ) -> list[Task]:
     """Create pre-training tasks from source datasets (Algorithm 1 input).
 
     Each of the ``n_subsets`` subsets is cut from a round-robin-chosen source
     dataset and paired with every forecasting setting its length supports.
+
+    ``corruptions`` — ``(profile, severity)`` pairs from
+    :data:`~repro.data.corruption.CORRUPTION_PROFILES` — widens the bank
+    with dirty tasks: accepted subsets cycle through clean and each listed
+    corruption in turn, so roughly ``len(corruptions)/(len(corruptions)+1)``
+    of the bank is dirty.  The corruption RNG is derived per subset from the
+    subset name, not drawn from the enrichment stream, so passing
+    ``corruptions=None`` leaves the clean bank bitwise-identical.  Source
+    datasets that already carry masks keep them either way.
     """
     if not source_datasets:
         raise ValueError("need at least one source dataset")
     if not settings:
         raise ValueError("need at least one forecasting setting")
+    if corruptions:
+        from ..data.corruption import corrupt_dataset
+
     rng = np.random.default_rng(seed)
     tasks: list[Task] = []
     attempts = 0
     index = 0
+    accepted = 0
     while len({t.data.name for t in tasks}) < n_subsets:
         attempts += 1
         if attempts > 50 * n_subsets:
@@ -95,6 +109,12 @@ def enrich_tasks(
         usable = supported_settings(subset, settings, config.min_windows)
         if not usable:
             continue
+        if corruptions:
+            slot = accepted % (len(corruptions) + 1)
+            if slot > 0:
+                profile, severity = corruptions[slot - 1]
+                subset = corrupt_dataset(subset, profile, severity=severity, seed=seed)
+        accepted += 1
         for p, q in usable:
             tasks.append(Task(data=subset, p=p, q=q, single_step=False))
     if not tasks:

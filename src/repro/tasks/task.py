@@ -99,7 +99,13 @@ class PreparedTask:
         ratio = task.split_ratio
         weight = sum(ratio)
         train_steps = data.n_steps * ratio[0] // weight
-        scaler = StandardScaler().fit(data.values[:, :train_steps, :])
+        # Scaler statistics come from *observed* training entries only, so
+        # imputed outage fills cannot drag the standardization; maskless data
+        # takes the historical unweighted path (bitwise-identical).
+        scaler = StandardScaler().fit(
+            data.values[:, :train_steps, :],
+            mask=None if data.mask is None else data.mask[:, :train_steps, :],
+        )
         scaled = scaler.transform(data.values)
         scaled_data = CTSData(
             name=data.name,
@@ -107,6 +113,7 @@ class PreparedTask:
             adjacency=data.adjacency,
             domain=data.domain,
             steps_per_day=data.steps_per_day,
+            mask=data.mask,
         )
         windows = make_windows(
             scaled_data, task.p, task.q, single_step=task.single_step
@@ -115,7 +122,7 @@ class PreparedTask:
         cap = task.max_train_windows
         if cap is not None and len(train) > cap:
             keep = np.unique(np.linspace(0, len(train) - 1, cap).astype(int))
-            train = WindowSet(train.x[keep], train.y[keep])
+            train = train.take(keep)
         return cls(
             train=train,
             val=val,

@@ -434,10 +434,13 @@ class TestFailures:
         assert excinfo.value.code == 400
 
     def test_non_finite_series_rejected(self, service):
+        # NaN without an imputation policy is a typed 422 naming the fix
+        # (see tests/test_robustness.py for the repair path).
         spec = _task_spec()
         spec["values"][0][0][0] = float("nan")
         status, body = service.request("/jobs", {"kind": "rank", "task": spec})
-        assert status == 400
+        assert status == 422
+        assert "imputation" in body["error"]
 
     def test_sync_rank_rejects_other_kinds(self, service):
         status, _ = service.request(

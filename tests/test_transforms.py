@@ -70,13 +70,17 @@ class TestRandomCrop:
 class TestMasking:
     def test_mask_rate_zero_is_identity(self):
         x = _series()
-        np.testing.assert_array_equal(timestamp_mask(x, np.random.default_rng(0), 0.0), x)
+        result = timestamp_mask(x, np.random.default_rng(0), 0.0)
+        np.testing.assert_array_equal(result.values, x)
+        assert result.mask.all()
 
-    def test_mask_zeroes_roughly_rate(self):
+    def test_mask_drops_roughly_rate_as_nan(self):
         x = np.ones((10, 100, 1))
-        out = timestamp_mask(x, np.random.default_rng(0), rate=0.3)
-        zero_fraction = (out == 0).mean()
-        assert 0.2 < zero_fraction < 0.4
+        result = timestamp_mask(x, np.random.default_rng(0), rate=0.3)
+        dropped = np.isnan(result.values).mean()
+        assert 0.2 < dropped < 0.4
+        np.testing.assert_array_equal(np.isnan(result.values), ~result.mask)
+        np.testing.assert_array_equal(result.values[result.mask], x[result.mask])
 
     def test_rejects_invalid_rate(self):
         with pytest.raises(ValueError):
@@ -84,23 +88,41 @@ class TestMasking:
 
 
 class TestMissingBlocks:
-    def test_injects_zero_blocks(self):
+    def test_injects_nan_blocks_with_mask(self):
         x = np.ones((2, 50, 1))
-        out = missing_blocks(x, np.random.default_rng(0), n_blocks=2, block_length=5)
-        assert (out == 0).any()
-        assert out.shape == x.shape
+        result = missing_blocks(x, np.random.default_rng(0), n_blocks=2, block_length=5)
+        assert np.isnan(result.values).any()
+        assert result.values.shape == x.shape
+        np.testing.assert_array_equal(np.isnan(result.values), ~result.mask)
+
+    def test_blocks_hit_every_series(self):
+        x = np.ones((3, 50, 1))
+        result = missing_blocks(x, np.random.default_rng(0), n_blocks=1, block_length=5)
+        per_series = (~result.mask).reshape(3, -1).sum(axis=1)
+        assert (per_series == per_series[0]).all() and per_series[0] == 5
+
+    def test_short_series_whole_axis_block(self):
+        # time <= block_length used to make the start range degenerate
+        x = np.ones((2, 3, 1))
+        result = missing_blocks(x, np.random.default_rng(0), n_blocks=1, block_length=8)
+        assert np.isnan(result.values).all()
+        assert not result.mask.any()
 
     def test_pipeline_survives_outages(self):
         """A forecaster must stay finite when fed outage-corrupted data."""
         from repro.core import build_forecaster
         from repro.data import CTSData
+        from repro.data.transforms import impute_missing
         from repro.space import JointSearchSpace, HyperSpace
 
         rng = np.random.default_rng(0)
-        values = missing_blocks(
+        result = missing_blocks(
             np.abs(RNG.normal(10, 2, size=(4, 80, 1))), rng, n_blocks=5, block_length=6
-        ).astype(np.float32)
-        data = CTSData("corrupted", values, np.ones((4, 4), np.float32), "test")
+        )
+        values = impute_missing(result.values, result.mask).astype(np.float32)
+        data = CTSData(
+            "corrupted", values, np.ones((4, 4), np.float32), "test", mask=result.mask
+        )
         space = JointSearchSpace(
             hyper_space=HyperSpace(num_blocks=(1,), num_nodes=(3,), hidden_dims=(8,),
                                    output_dims=(8,), output_modes=(0,), dropout=(0,))
