@@ -26,6 +26,8 @@ import sys
 
 import numpy as np
 
+from .utils.validation import ConfigError
+
 
 def _configure_observability(args: argparse.Namespace) -> str | None:
     """Install the run's tracer/heartbeat/profiling from flags and env.
@@ -147,9 +149,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from .autodiff import set_anomaly_default
     from .experiments import SCALES, pretrain_variant, target_task
-    from .runtime import configure_default_evaluator, default_checkpoint_dir
+    from .runtime import (
+        configure_default_evaluator,
+        default_checkpoint_dir,
+        resolve_fidelity_schedule,
+    )
     from .service import Engine
 
+    # Fail on a malformed --fidelity-schedule before any heavy work starts.
+    resolve_fidelity_schedule(args.fidelity_schedule)
     if args.anomaly_mode:
         # Also exported via $REPRO_ANOMALY so pool workers inherit the mode.
         set_anomaly_default(True)
@@ -174,6 +182,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         evaluator=evaluator,
         checkpoint_dir=checkpoint_dir,
         resume=args.resume,
+        fidelity_schedule=args.fidelity_schedule,
+        label_policy=args.fidelity_label_policy,
+        warm_dir=args.warm_dir,
     )
     setting = scale.setting(args.setting)
     task = target_task(scale, args.dataset, setting, seed=args.seed)
@@ -197,11 +208,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_autocts(args: argparse.Namespace) -> int:
     from .experiments import SCALES, target_task
-    from .runtime import configure_default_evaluator
+    from .runtime import configure_default_evaluator, resolve_fidelity_schedule
     from .search import AutoCTSPlusConfig, AutoCTSPlusSearch, EvolutionConfig
     from .space import JointSearchSpace
     from .tasks import ProxyConfig
 
+    # Fail on a malformed --fidelity-schedule before any heavy work starts.
+    resolve_fidelity_schedule(args.fidelity_schedule)
     trace_path = _configure_observability(args)
     scale = SCALES[args.scale]
     evaluator = configure_default_evaluator(
@@ -227,6 +240,9 @@ def _cmd_autocts(args: argparse.Namespace) -> int:
         batch_size=scale.batch_size,
         seed=args.seed,
         proxy=ProxyConfig(epochs=scale.proxy_epochs, batch_size=scale.batch_size),
+        fidelity_schedule=args.fidelity_schedule,
+        fidelity_label_policy=args.fidelity_label_policy,
+        warm_dir=args.warm_dir,
     )
     print(
         f"AutoCTS+ on {task.name} "
@@ -377,6 +393,36 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         time.sleep(args.poll)
 
 
+def _add_fidelity_args(parser: argparse.ArgumentParser) -> None:
+    """The successive-halving proxy-collection flags (see docs/fidelity.md)."""
+    parser.add_argument(
+        "--fidelity-schedule",
+        default=None,
+        metavar="ETA:RUNGS:MIN",
+        help="successive-halving schedule for proxy collection as "
+        "'eta:rungs:min-epochs', e.g. '3:3:1' (default: "
+        "$REPRO_FIDELITY_SCHEDULE or off — flat full-fidelity evaluation, "
+        "bitwise-identical to not passing the flag)",
+    )
+    parser.add_argument(
+        "--fidelity-label-policy",
+        default=None,
+        choices=("survivors", "tagged"),
+        help="which fidelity-tagged scores become comparator labels: "
+        "'survivors' (default) uses only full-fidelity measurements, "
+        "'tagged' uses every rung's scores "
+        "(default: $REPRO_FIDELITY_LABEL_POLICY or survivors)",
+    )
+    parser.add_argument(
+        "--warm-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for warm-start training snapshots so promoted "
+        "candidates resume instead of retraining "
+        "(default: $REPRO_FIDELITY_WARM_DIR or cold restarts)",
+    )
+
+
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     """The shared telemetry flags of the long-running subcommands."""
     parser.add_argument(
@@ -496,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'raise' aborts with a DivergenceError "
         "(default: $REPRO_DIVERGENCE_POLICY or sentinel)",
     )
+    _add_fidelity_args(search)
     _add_observability_args(search)
     search.set_defaults(func=_cmd_search)
 
@@ -542,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk proxy-evaluation score cache",
     )
+    _add_fidelity_args(autocts)
     _add_observability_args(autocts)
     autocts.set_defaults(func=_cmd_autocts)
 
@@ -660,7 +708,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        # Bad numerics or a malformed --fidelity-schedule spec: render the
+        # typed message like an argparse error instead of a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

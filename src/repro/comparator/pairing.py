@@ -58,40 +58,79 @@ def diverged_mask(scores: np.ndarray) -> np.ndarray:
     return np.array([is_sentinel_score(float(s)) for s in scores], dtype=bool)
 
 
-def has_comparable_pair(scores: np.ndarray) -> bool:
+def _eligibility(
+    count: int, eligible: np.ndarray | None
+) -> np.ndarray | None:
+    """Normalize an optional per-candidate label-eligibility mask.
+
+    ``None`` (the default everywhere) means every candidate is eligible and
+    — critically — keeps the healthy code path byte-identical: no mask is
+    materialized and no extra RNG is ever drawn.  A mask arises from the
+    fidelity label policy (``docs/fidelity.md``): candidates culled at a
+    sub-full rung carry low-fidelity scores that the ``survivors`` policy
+    excludes from comparator labels.
+    """
+    if eligible is None:
+        return None
+    mask = np.asarray(eligible, dtype=bool)
+    if len(mask) < count:
+        raise ValueError(
+            f"eligibility mask ({len(mask)}) shorter than score pool ({count})"
+        )
+    mask = mask[:count]
+    return None if mask.all() else mask
+
+
+def has_comparable_pair(
+    scores: np.ndarray, eligible: np.ndarray | None = None
+) -> bool:
     """Whether any valid training pair exists in the pool.
 
     A pair is comparable unless *both* members diverged — two sentinel
     scores carry no ordering information, so a pool needs at least two
-    candidates and at least one non-diverged one.
+    candidates and at least one non-diverged one.  With an ``eligible``
+    mask, only eligible candidates may pair at all (fidelity label policy),
+    so the pool additionally needs two eligible members, one of them
+    non-diverged.
     """
     scores = np.asarray(scores)
     if len(scores) < 2:
         return False
-    return int(diverged_mask(scores).sum()) < len(scores)
+    mask = _eligibility(len(scores), eligible)
+    bad = diverged_mask(scores)
+    if mask is None:
+        return int(bad.sum()) < len(scores)
+    if int(mask.sum()) < 2:
+        return False
+    return bool((mask & ~bad).any())
 
 
 def dynamic_pairs(
     scores: np.ndarray,
     rng: np.random.Generator,
     n_pairs: int,
+    eligible: np.ndarray | None = None,
 ) -> list[ComparisonPair]:
     """Draw ``n_pairs`` random ordered pairs with ground-truth labels.
 
     Pairs with identical scores are kept (label 1 by the >= convention);
     ``i == j`` self-pairs are excluded.  Pairs of *two diverged* (sentinel)
     candidates are rejection-resampled away — their tied worst-case scores
-    would yield a meaningless label that poisons comparator training.  When
-    the pool has no diverged scores the RNG stream is consumed exactly as it
+    would yield a meaningless label that poisons comparator training.  Pairs
+    touching an in*eligible* candidate (fidelity label policy; ``eligible``
+    defaults to everyone) are resampled the same way.  When the pool has no
+    diverged scores and no mask, the RNG stream is consumed exactly as it
     always was, so healthy runs stay bitwise-identical.
     """
     count = len(scores)
     if count < 2:
         raise ValueError("need at least two scored candidates to build pairs")
+    mask = _eligibility(count, eligible)
     bad = diverged_mask(scores)
-    if bad.sum() >= count:
+    if not has_comparable_pair(scores, eligible):
         raise ValueError(
-            "all candidates in the pool diverged; no comparable pair exists"
+            "no comparable pair exists in the pool (diverged or "
+            "label-ineligible candidates only)"
         )
     pairs: list[ComparisonPair] = []
     while len(pairs) < n_pairs:
@@ -101,6 +140,8 @@ def dynamic_pairs(
             j += 1
         if bad[i] and bad[j]:
             continue  # resample: no ordering information in a diverged pair
+        if mask is not None and not (mask[i] and mask[j]):
+            continue  # resample: low-fidelity scores excluded from labels
         pairs.append(ComparisonPair(i, j, make_label(scores[i], scores[j])))
     return pairs
 
@@ -142,19 +183,24 @@ def pair_index_arrays(
 
 
 def comparable_pair_indices(
-    scores: np.ndarray,
+    scores: np.ndarray, eligible: np.ndarray | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Ordered-pair index arrays with both-diverged pairs filtered out.
 
     Identical to :func:`ordered_pair_indices` on a sentinel-free pool (the
     common case, and a cheap vectorized check), so evaluation stays on the
-    memoized template unless divergence actually occurred.
+    memoized template unless divergence actually occurred.  With an
+    ``eligible`` mask (fidelity label policy), pairs touching an ineligible
+    candidate are filtered out as well.
     """
     index_a, index_b = ordered_pair_indices(len(scores))
+    mask = _eligibility(len(scores), eligible)
     bad = diverged_mask(scores)
-    if not bad.any():
+    if not bad.any() and mask is None:
         return index_a, index_b
     keep = ~(bad[index_a] & bad[index_b])
+    if mask is not None:
+        keep &= mask[index_a] & mask[index_b]
     return index_a[keep], index_b[keep]
 
 

@@ -58,12 +58,23 @@ class TaskSampleSet:
     scores: np.ndarray
     shared_count: int
     encodings: Encodings | None = None
+    # Fidelity tags from a successive-halving collect (docs/fidelity.md):
+    # the epoch budget each score was measured at, and which candidates are
+    # eligible to appear in comparator labels under the chosen label policy.
+    # Both stay None on the flat single-fidelity path (and in pre-fidelity
+    # pickles), which downstream code treats as "everything full fidelity".
+    fidelities: np.ndarray | None = None
+    label_mask: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if len(self.arch_hypers) != len(self.scores):
             raise ValueError("arch_hypers and scores must align")
         if not 0 <= self.shared_count <= len(self.arch_hypers):
             raise ValueError("shared_count out of range")
+        if self.fidelities is not None and len(self.fidelities) != len(self.scores):
+            raise ValueError("fidelities and scores must align")
+        if self.label_mask is not None and len(self.label_mask) != len(self.scores):
+            raise ValueError("label_mask and scores must align")
 
     def ensure_encodings(self) -> Encodings:
         if self.encodings is None:
@@ -106,6 +117,9 @@ def collect_task_samples(
     config: PretrainConfig | None = None,
     evaluator: "ProxyEvaluator | None" = None,
     checkpoint: "Checkpoint | None" = None,
+    fidelity_schedule=None,
+    label_policy: str | None = None,
+    warm_dir: str | None = None,
 ) -> list[TaskSampleSet]:
     """Measure shared + random arch-hypers on every task (Algorithm 1, l.1–7).
 
@@ -123,9 +137,21 @@ def collect_task_samples(
     resumes from it with bitwise-identical samples and scores (entries are
     content-addressed by evaluation fingerprint, so resuming is always
     sound).
+
+    ``fidelity_schedule`` (a :class:`~repro.runtime.FidelitySchedule`, an
+    ``eta:rungs:min-epochs`` spec, or ``None`` → ``$REPRO_FIDELITY_SCHEDULE``)
+    runs the collection as a successive-halving ladder instead of a flat
+    full-fidelity sweep; ``label_policy`` decides how sub-full-fidelity
+    scores may label (``docs/fidelity.md``).  With no schedule anywhere this
+    function is bitwise-identical to the historical pipeline.
     """
     from ..embedding.task_encoder import preliminary_task_embedding
-    from ..runtime import EvalProgress, get_default_evaluator
+    from ..runtime import (
+        EvalProgress,
+        get_default_evaluator,
+        resolve_fidelity_schedule,
+        resolve_label_policy,
+    )
 
     config = config if config is not None else PretrainConfig()
     if not tasks:
@@ -138,16 +164,45 @@ def collect_task_samples(
     evaluator = evaluator or get_default_evaluator()
     progress = EvalProgress(checkpoint) if checkpoint is not None else None
     jobs = [(ah, task) for task, pool in zip(tasks, pools) for ah in pool]
+    schedule = resolve_fidelity_schedule(fidelity_schedule)
     with span("collect", tasks=len(tasks), candidates=len(jobs)):
-        flat_scores = evaluator.evaluate_pairs(
-            jobs, config.proxy, progress=progress
-        )
+        flat_fidelities: list[int] | None = None
+        flat_mask: list[bool] | None = None
+        if schedule is None:
+            flat_scores = evaluator.evaluate_pairs(
+                jobs, config.proxy, progress=progress
+            )
+        else:
+            policy = resolve_label_policy(label_policy)
+            result = evaluator.evaluate_rungs(
+                jobs,
+                config.proxy,
+                schedule=schedule,
+                progress=progress,
+                warm_dir=warm_dir,
+            )
+            flat_scores = result.scores
+            flat_fidelities = result.fidelities
+            flat_mask = (
+                result.full_fidelity_mask()
+                if policy == "survivors"
+                else [True] * len(flat_scores)
+            )
 
         sample_sets: list[TaskSampleSet] = []
         cursor = 0
         for task, candidates in zip(tasks, pools):
-            scores = np.array(
-                flat_scores[cursor : cursor + len(candidates)], dtype=np.float64
+            window = slice(cursor, cursor + len(candidates))
+            scores = np.array(flat_scores[window], dtype=np.float64)
+            fidelities = (
+                np.array(flat_fidelities[window], dtype=np.int64)
+                if flat_fidelities is not None
+                else None
+            )
+            label_mask = (
+                np.array(flat_mask[window], dtype=bool)
+                if flat_mask is not None
+                else None
             )
             cursor += len(candidates)
             with span("task-embedding", task=task.name):
@@ -161,6 +216,8 @@ def collect_task_samples(
                     arch_hypers=candidates,
                     scores=scores,
                     shared_count=len(shared),
+                    fidelities=fidelities,
+                    label_mask=label_mask,
                 )
             )
     return sample_sets
@@ -204,11 +261,21 @@ def _pretrain_checkpoint_meta(
     config: PretrainConfig, sample_sets: list[TaskSampleSet]
 ) -> dict:
     """The run identity a pretraining checkpoint must match to be resumed."""
-    return {
+    meta = {
         "config": asdict(config),
         "tasks": [s.task_name for s in sample_sets],
         "pool_sizes": [len(s.arch_hypers) for s in sample_sets],
     }
+    # Fidelity label masks change which pairs may form, so they are part of
+    # the run identity — but the key is added only when a mask exists, so
+    # every flat-collect checkpoint meta stays byte-identical to before.
+    masks = [
+        None if s.label_mask is None else [bool(b) for b in s.label_mask]
+        for s in sample_sets
+    ]
+    if any(mask is not None for mask in masks):
+        meta["label_masks"] = masks
+    return meta
 
 
 def pretrain_tahc(
@@ -289,13 +356,21 @@ def pretrain_tahc(
                     if pool_size < 2:
                         continue
                     pool_scores = sample_set.scores[:pool_size]
-                    if not has_comparable_pair(pool_scores):
-                        # Every candidate in this curriculum slice diverged: no
+                    pool_eligible = (
+                        sample_set.label_mask[:pool_size]
+                        if sample_set.label_mask is not None
+                        else None
+                    )
+                    if not has_comparable_pair(pool_scores, pool_eligible):
+                        # Every candidate in this curriculum slice diverged (or
+                        # is label-ineligible under the fidelity policy): no
                         # pair carries ordering information, so skip the task
                         # this epoch (the check draws no RNG, keeping healthy
                         # runs bitwise-same).
                         continue
-                    pairs = dynamic_pairs(pool_scores, rng, config.pairs_per_task)
+                    pairs = dynamic_pairs(
+                        pool_scores, rng, config.pairs_per_task, pool_eligible
+                    )
                     index_a, index_b, labels = pair_index_arrays(pairs)
                     loss, accuracy = _task_pair_loss(
                         model, sample_set, index_a, index_b, labels
@@ -353,13 +428,16 @@ def evaluate_comparator(
 
     Uses the memoized O(n²) ordered-pair index template and the sample set's
     cached encodings — no per-call pair-object construction.  Both-diverged
-    (sentinel) pairs are excluded, matching the training-side pairing rules.
+    (sentinel) pairs are excluded, matching the training-side pairing rules,
+    as are pairs touching a label-ineligible (sub-full-fidelity) candidate.
     """
-    index_a, index_b = comparable_pair_indices(sample_set.scores)
+    index_a, index_b = comparable_pair_indices(
+        sample_set.scores, sample_set.label_mask
+    )
     if len(index_a) == 0:
         raise ValueError(
             f"task {sample_set.task_name!r} has no comparable pairs "
-            "(all measured candidates diverged)"
+            "(all measured candidates diverged or are label-ineligible)"
         )
     labels = pair_labels(sample_set.scores, index_a, index_b)
     with no_grad():

@@ -172,6 +172,43 @@ class HealthMonitor:
             self._snapshot = (self.model.state_dict(), self.optimizer.state_dict())
 
     # ------------------------------------------------------------------
+    # Checkpointing (warm fidelity resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The monitor's full decision state, for bitwise warm resume.
+
+        Captured at a step boundary (``_pending`` is always ``None`` there):
+        every counter, the first-loss explosion reference, and the last-good
+        snapshot, so a resumed run takes exactly the skip/backoff/rollback
+        decisions an uninterrupted one would.
+        """
+        return {
+            "consecutive_bad": self._consecutive_bad,
+            "good_steps": self._good_steps,
+            "first_loss": self._first_loss,
+            "snapshot": self._snapshot,
+            "report": {
+                "bad_steps": self.report.bad_steps,
+                "skipped_steps": self.report.skipped_steps,
+                "rollbacks": self.report.rollbacks,
+                "history": list(self.report.history),
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self._consecutive_bad = int(state["consecutive_bad"])
+        self._good_steps = int(state["good_steps"])
+        first_loss = state["first_loss"]
+        self._first_loss = None if first_loss is None else float(first_loss)
+        self._snapshot = state["snapshot"]
+        report = state["report"]
+        self.report.bad_steps = int(report["bad_steps"])
+        self.report.skipped_steps = int(report["skipped_steps"])
+        self.report.rollbacks = int(report["rollbacks"])
+        self.report.history = list(report["history"])
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _is_bad_loss(self, loss: float) -> bool:

@@ -30,6 +30,12 @@ from ..nn.module import Module
 from ..obs.trace import span
 from ..optim import Adam, clip_grad_norm, grad_norm
 from ..utils.seeding import derive_rng
+from ..utils.validation import (
+    ConfigError,
+    require_finite,
+    require_int_at_least,
+    require_positive_finite,
+)
 from .health import DivergenceError, HealthConfig, HealthMonitor, HealthReport
 
 
@@ -53,10 +59,15 @@ class TrainConfig:
     buffer_pool: bool | None = None
 
     def __post_init__(self) -> None:
-        if self.epochs < 1:
-            raise ValueError("epochs must be >= 1")
-        if self.patience < 1:
-            raise ValueError("patience must be >= 1")
+        # Typed, construction-time validation (ConfigError subclasses
+        # ValueError): a bad knob must fail here, not as an empty batch
+        # iterator or silent divergence deep inside the loop.
+        require_int_at_least(self.epochs, 1, "epochs")
+        require_int_at_least(self.batch_size, 1, "batch_size")
+        require_int_at_least(self.patience, 1, "patience")
+        require_positive_finite(self.lr, "lr")
+        require_finite(self.weight_decay, "weight_decay")
+        require_finite(self.grad_clip, "grad_clip")
 
 
 @dataclass
@@ -69,6 +80,44 @@ class TrainResult:
     best_epoch: int = -1
     stopped_early: bool = False
     health: HealthReport = field(default_factory=HealthReport)
+    # The warm-resume snapshot captured at the epoch the run stopped on
+    # (only when the caller asked via ``capture_state``; see
+    # :func:`train_forecaster`).  Feeding it back as ``resume_state``
+    # continues training bitwise-identically to a never-interrupted run.
+    state: dict | None = None
+
+    @property
+    def epochs_trained(self) -> int:
+        return len(self.train_losses)
+
+
+def _module_rng_states(model: Module) -> list:
+    """Forward-time RNG streams (dropout noise) in module-traversal order.
+
+    Dropout layers own private generators that advance every training
+    forward; they are invisible to ``state_dict`` but score-relevant, so a
+    bitwise warm resume must capture and restore them alongside the weights.
+    """
+    return [
+        module._rng.bit_generator.state
+        for module in model.modules()
+        if isinstance(getattr(module, "_rng", None), np.random.Generator)
+    ]
+
+
+def _load_module_rng_states(model: Module, states: list) -> None:
+    holders = [
+        module
+        for module in model.modules()
+        if isinstance(getattr(module, "_rng", None), np.random.Generator)
+    ]
+    if len(holders) != len(states):
+        raise ValueError(
+            f"module RNG mismatch: snapshot has {len(states)} stream(s), "
+            f"model has {len(holders)}"
+        )
+    for module, state in zip(holders, states):
+        module._rng.bit_generator.state = state
 
 
 def train_forecaster(
@@ -76,6 +125,10 @@ def train_forecaster(
     train_windows: WindowSet,
     val_windows: WindowSet,
     config: TrainConfig = TrainConfig(),
+    *,
+    stop_after_epoch: int | None = None,
+    resume_state: dict | None = None,
+    capture_state: bool = False,
 ) -> TrainResult:
     """Train ``model`` on ``train_windows`` with early stopping on val MAE.
 
@@ -84,6 +137,17 @@ def train_forecaster(
     warnings are suppressed inside the monitored loop: non-finite values are
     *detected* by the monitor's explicit checks, not reported as numpy
     warnings, so ``-W error::RuntimeWarning`` runs stay clean.
+
+    Fidelity resume (see ``docs/fidelity.md``): ``stop_after_epoch=k`` ends
+    the run after epoch ``k`` (1-based count) without marking it early-
+    stopped; ``capture_state=True`` attaches a full snapshot — current
+    weights (pre best-restore), best-so-far state, optimizer moments and
+    backed-off learning rate, batch-order and dropout RNG streams, monitor
+    state, histories — to ``result.state``.  Feeding that snapshot back as
+    ``resume_state`` (with the *same* config) continues the run so that the
+    final weights, histories, and scores are bitwise-identical to a single
+    uninterrupted training.  With all three defaults the loop is the exact
+    historical code path.
     """
     optimizer = Adam(
         model.parameters(), lr=config.lr, weight_decay=config.weight_decay
@@ -100,6 +164,24 @@ def train_forecaster(
     best_state: dict[str, np.ndarray] | None = None
     epochs_without_improvement = 0
     step = 0
+    start_epoch = 0
+    if resume_state is not None:
+        start_epoch = int(resume_state["epoch"])
+        model.load_state_dict(resume_state["model"])
+        optimizer.load_state_dict(resume_state["optimizer"])
+        optimizer.lr = float(resume_state["lr"])  # health backoff survives
+        rng.bit_generator.state = resume_state["rng"]
+        _load_module_rng_states(model, resume_state["module_rngs"])
+        best_state = resume_state["best_state"]
+        result.train_losses = list(resume_state["train_losses"])
+        result.val_maes = list(resume_state["val_maes"])
+        result.best_val_mae = float(resume_state["best_val_mae"])
+        result.best_epoch = int(resume_state["best_epoch"])
+        result.stopped_early = bool(resume_state["stopped_early"])
+        epochs_without_improvement = int(resume_state["epochs_without_improvement"])
+        step = int(resume_state["step"])
+        if monitor is not None and resume_state.get("monitor") is not None:
+            monitor.load_state_dict(resume_state["monitor"])
     # The pool is scoped strictly to the per-batch training step: buffers
     # handed out inside `pool.step()` are reclaimed one generation later, and
     # validation/inference below runs with no pool active, so arrays that
@@ -108,10 +190,13 @@ def train_forecaster(
         config.buffer_pool if config.buffer_pool is not None else pooling_allowed()
     )
     pool = BufferPool() if pool_wanted else None
+    epochs_done = start_epoch
     with span(
         "train-forecaster", epochs=config.epochs
     ) as train_span, np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-        for epoch in range(config.epochs):
+        for epoch in range(start_epoch, config.epochs):
+            if result.stopped_early:
+                break  # a resumed run that had already early-stopped
             model.train()
             epoch_losses = []
             for x, y, y_mask in iterate_masked_batches(
@@ -162,10 +247,35 @@ def train_forecaster(
                 epochs_without_improvement += 1
                 if epochs_without_improvement >= config.patience:
                     result.stopped_early = True
+                    epochs_done = epoch + 1
                     break
+            epochs_done = epoch + 1
+            if stop_after_epoch is not None and epochs_done >= stop_after_epoch:
+                break  # rung budget reached; not an early stop
         train_span.set(
             best_epoch=result.best_epoch, stopped_early=result.stopped_early
         )
+    if capture_state:
+        # Snapshot *before* the best-state restore below: resume needs the
+        # end-of-epoch weights the next epoch would have trained from.
+        result.state = {
+            "epoch": epochs_done,
+            "done": result.stopped_early or epochs_done >= config.epochs,
+            "model": model.state_dict(),
+            "best_state": best_state,
+            "optimizer": optimizer.state_dict(),
+            "lr": float(optimizer.lr),
+            "rng": rng.bit_generator.state,
+            "module_rngs": _module_rng_states(model),
+            "train_losses": list(result.train_losses),
+            "val_maes": list(result.val_maes),
+            "best_val_mae": float(result.best_val_mae),
+            "best_epoch": int(result.best_epoch),
+            "stopped_early": bool(result.stopped_early),
+            "epochs_without_improvement": int(epochs_without_improvement),
+            "step": int(step),
+            "monitor": monitor.state_dict() if monitor is not None else None,
+        }
     if best_state is not None:
         model.load_state_dict(best_state)
     return result

@@ -261,6 +261,9 @@ def pretrain_variant(
     evaluator: "ProxyEvaluator | None" = None,
     checkpoint_dir: Path | None = None,
     resume: bool = False,
+    fidelity_schedule=None,
+    label_policy: str | None = None,
+    warm_dir: Path | str | None = None,
 ) -> PretrainedArtifacts:
     """Pre-train (or load from cache) a T-AHC variant at the given scale.
 
@@ -273,9 +276,17 @@ def pretrain_variant(
     from any existing checkpoints (bitwise-identical to an uninterrupted
     run); ``resume=False`` clears them and starts fresh.  Checkpoints are
     removed once the run completes and its artifact is cached.
+
+    ``fidelity_schedule``/``label_policy``/``warm_dir`` run the sample
+    collection as a successive-halving ladder (``docs/fidelity.md``); with
+    no schedule (and ``$REPRO_FIDELITY_SCHEDULE`` unset) the run — and its
+    artifact cache key — is identical to the historical pipeline.
     """
+    from ..runtime import resolve_fidelity_schedule, resolve_label_policy
+
     if variant not in VARIANTS:
         raise KeyError(f"unknown variant {variant!r}; known: {VARIANTS}")
+    schedule = resolve_fidelity_schedule(fidelity_schedule)
     cache_path = None
     if cache_dir is not None:
         # The key carries every knob that shapes the pre-trained artifact so
@@ -285,6 +296,13 @@ def pretrain_variant(
             f"{scale.random_samples}-{scale.proxy_epochs}-{scale.pretrain_epochs}-"
             f"{scale.pretrain_pairs_per_task}-{scale.preliminary_dim}"
         )
+        if schedule is not None:
+            # A fidelity ladder produces different labels, so it must not
+            # share cache files with flat runs (and vice versa); the key
+            # suffix appears only when a schedule is active, keeping flat
+            # cache paths byte-identical to before.
+            policy = resolve_label_policy(label_policy)
+            fingerprint += f"-fid{schedule.spec().replace(':', '_')}-{policy}"
         cache_path = (
             Path(cache_dir)
             / f"tahc-{scale.name}-{fingerprint}-{variant}-seed{seed}.pkl"
@@ -321,7 +339,15 @@ def pretrain_variant(
     space = JointSearchSpace(hyper_space=scale.hyper_space)
     config = _pretrain_config(scale, variant, seed)
     sample_sets = collect_task_samples(
-        tasks, space, embedder, config, evaluator=evaluator, checkpoint=collect_ckpt
+        tasks,
+        space,
+        embedder,
+        config,
+        evaluator=evaluator,
+        checkpoint=collect_ckpt,
+        fidelity_schedule=schedule,
+        label_policy=label_policy,
+        warm_dir=str(warm_dir) if warm_dir is not None else None,
     )
     model = _build_variant_model(scale, variant, seed)
     history = pretrain_tahc(model, sample_sets, config, checkpoint=pretrain_ckpt)

@@ -127,6 +127,11 @@ _TREE_ATTRS = (
     "attempt",
     "diverged",
     "error",
+    # fidelity-rung spans (successive-halving proxy collection)
+    "rung",
+    "epochs",
+    "promoted",
+    "culled",
 )
 
 

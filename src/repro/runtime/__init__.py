@@ -33,7 +33,22 @@ from .checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     Checkpoint,
     EvalProgress,
+    ProgressVersionError,
     default_checkpoint_dir,
+)
+from .fidelity import (
+    FIDELITY_LABEL_POLICY_ENV,
+    FIDELITY_SCHEDULE_ENV,
+    FIDELITY_WARM_DIR_ENV,
+    FidelityResult,
+    FidelitySchedule,
+    FidelityScheduler,
+    LABEL_POLICIES,
+    RungReport,
+    parse_fidelity_schedule,
+    resolve_fidelity_schedule,
+    resolve_label_policy,
+    resolve_warm_dir,
 )
 from .evaluator import (
     DIVERGENCE_POLICIES,
@@ -52,7 +67,13 @@ from .faults import (
     RetryPolicy,
     resolve_retry_policy,
 )
-from .fingerprint import CACHE_KEY_VERSION, proxy_fingerprint, task_fingerprint_material
+from .fingerprint import (
+    CACHE_KEY_VERSION,
+    proxy_fingerprint,
+    task_fingerprint_material,
+    warm_lineage_fingerprint,
+)
+from .warm import WarmStore
 
 EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
 
@@ -126,18 +147,33 @@ __all__ = [
     "EvalProgress",
     "EvalStats",
     "EvalTimeoutError",
+    "FIDELITY_LABEL_POLICY_ENV",
+    "FIDELITY_SCHEDULE_ENV",
+    "FIDELITY_WARM_DIR_ENV",
+    "FidelityResult",
+    "FidelitySchedule",
+    "FidelityScheduler",
+    "LABEL_POLICIES",
     "MAX_RETRIES_ENV",
+    "ProgressVersionError",
     "ProxyEvaluator",
     "RetryPolicy",
+    "RungReport",
     "WORKERS_ENV",
+    "WarmStore",
     "configure_default_evaluator",
     "default_cache_dir",
     "default_checkpoint_dir",
     "get_default_evaluator",
+    "parse_fidelity_schedule",
     "proxy_fingerprint",
     "resolve_divergence_policy",
+    "resolve_fidelity_schedule",
+    "resolve_label_policy",
     "resolve_retry_policy",
+    "resolve_warm_dir",
     "resolve_workers",
     "set_default_evaluator",
     "task_fingerprint_material",
+    "warm_lineage_fingerprint",
 ]

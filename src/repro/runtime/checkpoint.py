@@ -27,7 +27,23 @@ import os
 import pickle
 from pathlib import Path
 
+from .fingerprint import CACHE_KEY_VERSION
+
 logger = logging.getLogger(__name__)
+
+
+class ProgressVersionError(RuntimeError):
+    """An :class:`EvalProgress` file was written under a different
+    ``CACHE_KEY_VERSION``.
+
+    Fingerprint semantics changed between the writer and the reader, so the
+    stored ``{fingerprint: score}`` entries describe *different measurements*
+    than the ones the resuming run would compute.  Refusing loudly (instead
+    of silently mixing the two keyings) is the contract tested by the
+    version-skew suite; delete the progress file or set a fresh checkpoint
+    directory to proceed.
+    """
+
 
 # Bump when the checkpoint payload schema changes; old files are then
 # discarded cleanly (and their runs restart) instead of crashing the loader.
@@ -147,6 +163,18 @@ class EvalProgress:
         self.checkpoint = checkpoint
         self.flush_every = max(1, int(flush_every))
         state = checkpoint.load()
+        if state is not None:
+            # Entries are keyed by fingerprints whose semantics are pinned by
+            # CACHE_KEY_VERSION; a file written under any other version (or
+            # before versions were recorded) must refuse, not silently mix.
+            stored = state.get("key_version", 0)
+            if stored != CACHE_KEY_VERSION:
+                raise ProgressVersionError(
+                    f"eval progress {checkpoint.path} was written under cache "
+                    f"key version {stored}, but this build uses "
+                    f"{CACHE_KEY_VERSION}; refusing to resume (delete the "
+                    "file or point REPRO_CHECKPOINT_DIR elsewhere)"
+                )
         self.scores: dict[str, float] = dict(state["scores"]) if state else {}
         self._pending = 0
 
@@ -162,7 +190,9 @@ class EvalProgress:
 
     def flush(self) -> None:
         if self._pending:
-            self.checkpoint.save({"scores": dict(self.scores)})
+            self.checkpoint.save(
+                {"scores": dict(self.scores), "key_version": CACHE_KEY_VERSION}
+            )
             self._pending = 0
 
     def clear(self) -> None:

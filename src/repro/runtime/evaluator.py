@@ -443,6 +443,42 @@ class ProxyEvaluator:
         assert all(score is not None for score in scores)
         return [float(score) for score in scores]  # type: ignore[arg-type]
 
+    def evaluate_rungs(
+        self,
+        pairs: Sequence[tuple[ArchHyper, Task]],
+        config: ProxyConfig | None = None,
+        schedule=None,
+        progress: EvalProgress | None = None,
+        warm_dir: str | None = None,
+    ):
+        """Score pairs through a successive-halving fidelity ladder.
+
+        ``schedule`` is a :class:`~repro.runtime.fidelity.FidelitySchedule`,
+        an ``eta:rungs:min-epochs`` spec string, or ``None`` to read
+        ``$REPRO_FIDELITY_SCHEDULE``.  With no schedule anywhere this is
+        exactly :meth:`evaluate_pairs` (every candidate at full fidelity) —
+        the fidelity machinery is inert until a schedule is requested.
+        Returns a :class:`~repro.runtime.fidelity.FidelityResult`.
+        """
+        from .fidelity import (
+            FidelityResult,
+            FidelityScheduler,
+            resolve_fidelity_schedule,
+            resolve_warm_dir,
+        )
+
+        config = config if config is not None else ProxyConfig()
+        schedule = resolve_fidelity_schedule(schedule)
+        if schedule is None:
+            scores = self.evaluate_pairs(pairs, config, progress)
+            return FidelityResult(
+                scores=scores,
+                fidelities=[config.epochs] * len(scores),
+                full_epochs=config.epochs,
+            )
+        scheduler = FidelityScheduler(schedule, warm_dir=resolve_warm_dir(warm_dir))
+        return scheduler.evaluate_pairs(self, pairs, config, progress=progress)
+
     # ------------------------------------------------------------------
     # Backends
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict
+from dataclasses import asdict, replace
 
 import numpy as np
 
@@ -72,6 +72,17 @@ def proxy_fingerprint(
     # buffer_pool is score-inert (pooled training is bitwise-identical to
     # pool-off training, enforced by tests), so it must not split the cache.
     proxy_material.pop("buffer_pool", None)
+    # warm_dir is score-inert too: a warm continuation is bitwise-identical
+    # to a fresh run of the same fidelity (enforced by tests).
+    proxy_material.pop("warm_dir", None)
+    # The fidelity budget IS score-material — a k'-epoch score is a different
+    # measurement than a k-epoch one — but the key is included only when the
+    # fidelity is actually partial, so every full-fidelity fingerprint stays
+    # byte-identical to its pre-fidelity value (same conditional-inclusion
+    # pattern as mask_sha256 above).
+    fidelity = proxy_material.pop("fidelity_epochs", None)
+    if fidelity is not None and fidelity < config.epochs:
+        proxy_material["fidelity_epochs"] = int(fidelity)
     material = {
         "key_version": CACHE_KEY_VERSION,
         "arch_hyper": arch_hyper.to_dict(),
@@ -80,3 +91,19 @@ def proxy_fingerprint(
     }
     payload = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def warm_lineage_fingerprint(
+    arch_hyper: ArchHyper, task: Task, config: ProxyConfig
+) -> str:
+    """Fidelity-independent identity of one candidate's training lineage.
+
+    Every fidelity rung of the same ``(ah, task, config)`` shares one
+    training trajectory — the partial runs are literal prefixes of the full
+    one — so warm-resume snapshots are keyed by the fingerprint with the
+    fidelity axis stripped.  By construction this equals the plain
+    full-fidelity :func:`proxy_fingerprint`.
+    """
+    return proxy_fingerprint(
+        arch_hyper, task, replace(config, fidelity_epochs=None, warm_dir=None)
+    )

@@ -64,6 +64,11 @@ class AutoCTSPlusConfig:
     batch_size: int = 64
     seed: int = 0
     proxy: ProxyConfig = field(default_factory=ProxyConfig)
+    # Successive-halving proxy collection (see docs/fidelity.md).  ``None``
+    # keeps the flat, bitwise-identical single-rung path.
+    fidelity_schedule: str | None = None
+    fidelity_label_policy: str | None = None
+    warm_dir: str | None = None
 
 
 @dataclass
@@ -89,6 +94,9 @@ class AutoCTSPlusSearch:
         self.config = config if config is not None else AutoCTSPlusConfig()
         self.evaluator = evaluator
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        # Populated by collect_samples when a fidelity schedule culled some
+        # candidates early; None on the flat path (every score is eligible).
+        self._label_eligible: np.ndarray | None = None
 
     def _checkpoint(self, stage: str, kind: str) -> "Checkpoint | None":
         """The per-stage progress checkpoint, or ``None`` when not enabled."""
@@ -105,21 +113,51 @@ class AutoCTSPlusSearch:
     # Stages
     # ------------------------------------------------------------------
     def collect_samples(self, task: Task) -> list[tuple[ArchHyper, float]]:
-        """Stage 1: measure random arch-hypers with the proxy on the task."""
-        from ..runtime import EvalProgress, get_default_evaluator
+        """Stage 1: measure random arch-hypers with the proxy on the task.
+
+        With a ``fidelity_schedule`` configured, the pool runs through the
+        successive-halving rungs instead of a flat full-fidelity sweep; under
+        the default ``survivors`` label policy only full-fidelity scores are
+        eligible as comparator training labels (culled candidates keep their
+        last partial score, tagged via ``_label_eligible``).
+        """
+        from ..runtime import (
+            EvalProgress,
+            get_default_evaluator,
+            resolve_fidelity_schedule,
+            resolve_label_policy,
+        )
 
         rng = derive_rng(self.config.seed, "autocts+-collect")
         candidates = self.space.sample_batch(self.config.n_measured_samples, rng)
         evaluator = self.evaluator or get_default_evaluator()
         checkpoint = self._checkpoint("collect", "eval-progress")
         progress = EvalProgress(checkpoint) if checkpoint is not None else None
+        schedule = resolve_fidelity_schedule(self.config.fidelity_schedule)
         with span("collect", task=task.name, candidates=len(candidates)):
-            scores = evaluator.evaluate_pairs(
-                [(ah, task) for ah in candidates],
-                self.config.proxy,
-                progress=progress,
-            )
-        if not has_comparable_pair(np.asarray(scores)):
+            if schedule is None:
+                scores = evaluator.evaluate_pairs(
+                    [(ah, task) for ah in candidates],
+                    self.config.proxy,
+                    progress=progress,
+                )
+                self._label_eligible = None
+            else:
+                result = evaluator.evaluate_rungs(
+                    [(ah, task) for ah in candidates],
+                    self.config.proxy,
+                    schedule=schedule,
+                    progress=progress,
+                    warm_dir=self.config.warm_dir,
+                )
+                scores = result.scores
+                policy = resolve_label_policy(self.config.fidelity_label_policy)
+                self._label_eligible = (
+                    np.asarray(result.full_fidelity_mask(), dtype=bool)
+                    if policy == "survivors"
+                    else None
+                )
+        if not has_comparable_pair(np.asarray(scores), self._label_eligible):
             raise DivergenceError(
                 f"every measured candidate diverged on task {task.name!r}; "
                 "no comparator training signal exists (try a smaller lr range "
@@ -139,6 +177,7 @@ class AutoCTSPlusSearch:
         config = self.config
         arch_hypers = [ah for ah, _ in measured]
         scores = np.array([score for _, score in measured])
+        eligible = self._label_eligible
         encodings = encode_batch(arch_hypers, self.space.hyper_space)
         ahc = AHC(
             embed_dim=config.ahc_embed_dim,
@@ -162,6 +201,13 @@ class AutoCTSPlusSearch:
                     np.ascontiguousarray(scores).tobytes()
                 ).hexdigest(),
             }
+            if eligible is not None:
+                # Only present under a fidelity label policy that masks some
+                # scores — keeps flat-path checkpoint metadata byte-identical
+                # while refusing to resume across policy changes.
+                checkpoint.meta["eligible_sha256"] = hashlib.sha256(
+                    np.ascontiguousarray(eligible).tobytes()
+                ).hexdigest()
             state = checkpoint.load()
             if state is not None:
                 ahc.load_state_dict(state["model"])
@@ -173,7 +219,9 @@ class AutoCTSPlusSearch:
             "train-comparator", epochs=config.ahc_epochs, samples=len(measured)
         ) as handle:
             for epoch in range(start_epoch, config.ahc_epochs):
-                pairs = dynamic_pairs(scores, rng, config.pairs_per_epoch)
+                pairs = dynamic_pairs(
+                    scores, rng, config.pairs_per_epoch, eligible=eligible
+                )
                 index_a, index_b, labels = pair_index_arrays(pairs)
                 # Encode-once: one GIN forward over the measured pool, pair
                 # sides gathered from the shared embedding batch.

@@ -280,7 +280,7 @@ class Engine:
         n_samples: int,
         seed: int = 0,
         progress: EvalProgress | None = None,
-    ) -> tuple[list[ArchHyper], list[float]]:
+    ) -> tuple[list[ArchHyper], list[float], list[int] | None]:
         """Measure ``n_samples`` sampled arch-hypers on ``task`` (proxy labels).
 
         The sample-collection primitive behind comparator pre-training,
@@ -288,16 +288,34 @@ class Engine:
         from ``seed``, scored through the evaluator (with per-job runtime
         overrides), and checkpointed score-by-score so a killed daemon
         resumes bitwise-identically.
+
+        With a ``runtime.fidelity_schedule`` the sweep runs as a
+        successive-halving ladder (``docs/fidelity.md``); the returned
+        fidelity list tags the epoch budget each score was measured at.
+        Without one, fidelities are ``None`` and the path is byte-identical
+        to the flat pipeline.
         """
         space = self.artifacts.space
         candidates = space.sample_batch(n_samples, np.random.default_rng(seed))
         evaluator = self.evaluator_for(runtime)
-        scores = evaluator.evaluate_pairs(
-            [(ah, task) for ah in candidates],
-            config=runtime.proxy_config(),
-            progress=progress,
+        pairs = [(ah, task) for ah in candidates]
+        config = runtime.proxy_config()
+        if runtime.fidelity_schedule is None:
+            scores = evaluator.evaluate_pairs(pairs, config, progress=progress)
+            return candidates, scores, None
+        warm_dir = (
+            str(self.checkpoint_dir / "warm")
+            if self.checkpoint_dir is not None
+            else None
         )
-        return candidates, scores
+        result = evaluator.evaluate_rungs(
+            pairs,
+            config,
+            schedule=runtime.fidelity_schedule,
+            progress=progress,
+            warm_dir=warm_dir,
+        )
+        return candidates, result.scores, result.fidelities
 
     def train_artifact(
         self,

@@ -62,7 +62,7 @@ def _run_collect(engine: Engine, request: JobRequest, fingerprint: str) -> dict:
     task = request.build_task()
     checkpoint = engine.job_checkpoint(fingerprint, _CHECKPOINT_KINDS["collect"])
     progress = EvalProgress(checkpoint) if checkpoint is not None else None
-    candidates, scores = engine.collect_scores(
+    candidates, scores, fidelities = engine.collect_scores(
         task,
         request.runtime,
         n_samples=_int_option(request.options, "n_samples", 8),
@@ -71,13 +71,19 @@ def _run_collect(engine: Engine, request: JobRequest, fingerprint: str) -> dict:
     )
     if progress is not None:
         progress.clear()
-    return {
-        "task": task.name,
-        "samples": [
-            {"arch_hyper": ah.to_dict(), "score": float(score)}
-            for ah, score in zip(candidates, scores)
-        ],
-    }
+    samples = [
+        {"arch_hyper": ah.to_dict(), "score": float(score)}
+        for ah, score in zip(candidates, scores)
+    ]
+    body = {"task": task.name, "samples": samples}
+    if fidelities is not None:
+        # A fidelity-scheduled collect tags each score with the epoch budget
+        # it was measured at; the key is absent on flat collects so their
+        # result bodies stay byte-identical to pre-fidelity ones.
+        for sample, fidelity in zip(samples, fidelities):
+            sample["fidelity_epochs"] = int(fidelity)
+        body["fidelity_schedule"] = request.runtime.fidelity_schedule
+    return body
 
 
 def _run_train(engine: Engine, request: JobRequest, fingerprint: str) -> dict:

@@ -39,6 +39,7 @@ from ..runtime.fingerprint import task_fingerprint_material
 from ..space.archhyper import ArchHyper
 from ..tasks.proxy import ProxyConfig
 from ..tasks.task import Task
+from ..utils.validation import ConfigError
 
 PROTOCOL_VERSION = 1
 
@@ -214,6 +215,13 @@ class RuntimeOverrides:
     proxy_batch_size: int | None = None
     proxy_lr: float | None = None
     proxy_seed: int | None = None
+    # Successive-halving collection (docs/fidelity.md): an
+    # ``eta:rungs:min-epochs`` spec and the label policy for sub-full-fidelity
+    # scores.  Score-MATERIAL — a scheduled collect measures different
+    # (candidate, fidelity) pairs than a flat one — so both land in request
+    # fingerprints (conditionally, to keep no-schedule fingerprints stable).
+    fidelity_schedule: str | None = None
+    fidelity_label_policy: str | None = None
 
     def proxy_config(self) -> ProxyConfig:
         """The per-job :class:`ProxyConfig`, overrides applied over defaults."""
@@ -238,15 +246,33 @@ class RuntimeOverrides:
         Workers, retries, timeouts, and buffer pooling are score-inert
         (bitwise-identical results, enforced by the runtime/perf suites), so
         they are deliberately absent: a tenant asking for 4 workers must
-        dedupe against a tenant asking for 1.
+        dedupe against a tenant asking for 1.  The fidelity schedule IS
+        score-relevant, but its keys are included only when set, so every
+        schedule-free request fingerprint stays byte-identical to its
+        pre-fidelity value.
         """
-        return {
+        material = {
             "divergence_policy": self.divergence_policy,
             "proxy_epochs": self.proxy_epochs,
             "proxy_batch_size": self.proxy_batch_size,
             "proxy_lr": self.proxy_lr,
             "proxy_seed": self.proxy_seed,
         }
+        if self.fidelity_schedule is not None:
+            from ..runtime.fidelity import (
+                parse_fidelity_schedule,
+                resolve_label_policy,
+            )
+
+            # Canonicalize so "3:3:1" and "3 : 3 : 1" (and an explicit vs
+            # defaulted label policy) dedupe to one computation.
+            material["fidelity_schedule"] = parse_fidelity_schedule(
+                self.fidelity_schedule
+            ).spec()
+            material["fidelity_label_policy"] = resolve_label_policy(
+                self.fidelity_label_policy
+            )
+        return material
 
 
 def parse_runtime(payload: dict | None) -> RuntimeOverrides:
@@ -261,7 +287,24 @@ def parse_runtime(payload: dict | None) -> RuntimeOverrides:
             f"runtime: unknown divergence_policy {policy!r}; "
             f"expected one of {DIVERGENCE_POLICIES}"
         )
-    return RuntimeOverrides(
+    fidelity_schedule = _optional(payload, "fidelity_schedule", str, "runtime")
+    if fidelity_schedule is not None:
+        from ..runtime.fidelity import parse_fidelity_schedule
+
+        try:
+            parse_fidelity_schedule(fidelity_schedule)
+        except ConfigError as exc:
+            raise ProtocolError(f"runtime: {exc}") from exc
+    label_policy = _optional(payload, "fidelity_label_policy", str, "runtime")
+    if label_policy is not None:
+        from ..runtime.fidelity import LABEL_POLICIES
+
+        if label_policy not in LABEL_POLICIES:
+            raise ProtocolError(
+                f"runtime: unknown fidelity_label_policy {label_policy!r}; "
+                f"expected one of {LABEL_POLICIES}"
+            )
+    overrides = RuntimeOverrides(
         workers=_optional(payload, "workers", int, "runtime"),
         divergence_policy=policy,
         max_retries=_optional(payload, "max_retries", int, "runtime"),
@@ -271,7 +314,17 @@ def parse_runtime(payload: dict | None) -> RuntimeOverrides:
         proxy_batch_size=_optional(payload, "proxy_batch_size", int, "runtime"),
         proxy_lr=_optional(payload, "proxy_lr", (int, float), "runtime"),
         proxy_seed=_optional(payload, "proxy_seed", int, "runtime"),
+        fidelity_schedule=fidelity_schedule,
+        fidelity_label_policy=label_policy,
     )
+    try:
+        # ProxyConfig validates its numerics at construction (ConfigError);
+        # surface a bad proxy_epochs/lr as a 400 at submit time, not as a
+        # failed job deep inside the daemon.
+        overrides.proxy_config()
+    except ConfigError as exc:
+        raise ProtocolError(f"runtime: {exc}") from exc
+    return overrides
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,12 @@ from ..core.model import build_forecaster
 from ..core.trainer import TrainConfig, evaluate_forecaster, train_forecaster
 from ..metrics import ForecastScores
 from ..space.archhyper import ArchHyper
+from ..utils.validation import (
+    require,
+    require_finite,
+    require_int_at_least,
+    require_positive_finite,
+)
 from .task import Task
 
 # The deterministic worst-case score assigned to a diverged candidate when
@@ -49,9 +55,47 @@ class ProxyConfig:
     # Tri-state: None resolves $REPRO_BUFFER_POOL at use time; an explicit
     # bool (e.g. a per-job service override) wins over the environment.
     buffer_pool: bool | None = None
+    # Fidelity axis (successive halving, docs/fidelity.md): train only this
+    # many epochs of the full `epochs` budget.  None = full fidelity (the
+    # historical behaviour).  Score-MATERIAL when partial: a k'-epoch score
+    # is a different measurement than a k-epoch one, so the fingerprint
+    # includes it — but only when partial, keeping full-fidelity keys
+    # byte-identical to pre-fidelity ones.
+    fidelity_epochs: int | None = None
+    # Directory for warm-resume training snapshots.  Score-INERT: a warm
+    # continuation is bitwise-identical to a fresh run of the same fidelity
+    # (enforced by test), so this is excluded from fingerprints like
+    # buffer_pool.
+    warm_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        require_int_at_least(self.epochs, 1, "epochs")
+        require_int_at_least(self.batch_size, 1, "batch_size")
+        require_positive_finite(self.lr, "lr")
+        require_finite(self.weight_decay, "weight_decay")
+        require_int_at_least(self.seed, 0, "seed")
+        if self.fidelity_epochs is not None:
+            require_int_at_least(self.fidelity_epochs, 1, "fidelity_epochs")
+            require(
+                self.fidelity_epochs <= self.epochs,
+                f"fidelity_epochs must be <= epochs ({self.epochs}), "
+                f"got {self.fidelity_epochs}",
+            )
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether this config measures at a reduced (sub-full) fidelity."""
+        return self.fidelity_epochs is not None and self.fidelity_epochs < self.epochs
 
     def train_config(self, epochs: int | None = None) -> TrainConfig:
-        """Materialize the proxy's training configuration."""
+        """Materialize the proxy's training configuration.
+
+        Note the fidelity axis deliberately does NOT change this config: a
+        partial-fidelity run trains under the *full*-epochs configuration
+        (same patience, same identity) and is merely cut short by the
+        trainer's ``stop_after_epoch`` — that is what makes a promoted
+        candidate's continuation bitwise-identical to an uninterrupted run.
+        """
         chosen = epochs if epochs is not None else self.epochs
         return TrainConfig(
             epochs=chosen,
@@ -79,18 +123,77 @@ def measure_arch_hyper(
     or propagates (``--divergence-policy``).
     """
     config = config if config is not None else ProxyConfig()
-    prepared = task.prepared
-    model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
-    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-        train_forecaster(model, prepared.train, prepared.val, config.train_config())
-        scores = evaluate_forecaster(model, prepared.val, config.batch_size)
-        value = float(scores.primary(single_step=task.single_step))
+    if config.fidelity_epochs is None and config.warm_dir is None:
+        # The exact historical single-fidelity path: no snapshot capture, no
+        # warm lookup — byte-for-byte the pre-fidelity pipeline.
+        prepared = task.prepared
+        model = build_forecaster(
+            arch_hyper, task.data, task.horizon, seed=config.seed
+        )
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            train_forecaster(
+                model, prepared.train, prepared.val, config.train_config()
+            )
+            scores = evaluate_forecaster(model, prepared.val, config.batch_size)
+            value = float(scores.primary(single_step=task.single_step))
+        return _checked(value, arch_hyper, task)
+    return _measure_with_fidelity(arch_hyper, task, config)
+
+
+def _checked(value: float, arch_hyper: ArchHyper, task: Task) -> float:
     if not np.isfinite(value):
         raise DivergenceError(
             f"proxy evaluation produced a non-finite score ({value}) for "
             f"{arch_hyper.hyper} on task {task.name!r}"
         )
     return value
+
+
+def _measure_with_fidelity(
+    arch_hyper: ArchHyper, task: Task, config: ProxyConfig
+) -> float:
+    """R'(ah) at a (possibly partial) fidelity, warm-continuing when possible.
+
+    Training runs under the *full*-epochs :class:`TrainConfig` and is cut at
+    the fidelity budget by ``stop_after_epoch``; with a ``warm_dir``, the
+    end-of-run trainer snapshot is persisted so a later, higher-fidelity
+    measurement of the same candidate resumes instead of retraining — and
+    the resumed run is bitwise-identical to a fresh one of that fidelity.
+    """
+    # Lazy import: the runtime layer imports this module at load time, so
+    # the reverse dependency must resolve at call time only.
+    from ..runtime.warm import WarmStore
+
+    budget = (
+        config.fidelity_epochs
+        if config.fidelity_epochs is not None
+        else config.epochs
+    )
+    store = WarmStore(config.warm_dir) if config.warm_dir else None
+    snapshot = (
+        store.load(arch_hyper, task, config) if store is not None else None
+    )
+    if snapshot is not None and int(snapshot["epoch"]) > budget:
+        # A snapshot past the requested fidelity cannot be rewound; measure
+        # fresh (the scheduler only ever promotes upward, so this is rare).
+        snapshot = None
+    prepared = task.prepared
+    model = build_forecaster(arch_hyper, task.data, task.horizon, seed=config.seed)
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        result = train_forecaster(
+            model,
+            prepared.train,
+            prepared.val,
+            config.train_config(),
+            stop_after_epoch=None if budget >= config.epochs else budget,
+            resume_state=snapshot,
+            capture_state=store is not None,
+        )
+        scores = evaluate_forecaster(model, prepared.val, config.batch_size)
+        value = float(scores.primary(single_step=task.single_step))
+    if store is not None and result.state is not None:
+        store.save(arch_hyper, task, config, result.state)
+    return _checked(value, arch_hyper, task)
 
 
 def full_train_score(

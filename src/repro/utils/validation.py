@@ -1,0 +1,47 @@
+"""Typed construction-time validation for configuration dataclasses.
+
+Training and proxy configs used to accept any numerics and fail deep inside
+the training loop (a zero batch size as an empty batch iterator, a negative
+learning rate as silent divergence).  :class:`ConfigError` makes a bad knob a
+*construction-time* outcome instead: it subclasses :class:`ValueError`, so
+pre-existing ``except ValueError`` call sites (and the CLI's error rendering)
+keep working, while new code can catch the typed class.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ConfigError(ValueError):
+    """A configuration field failed validation at construction time."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise a :class:`ConfigError` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def require_int_at_least(value, minimum: int, name: str) -> None:
+    """``value`` must be an integer (not a bool) ``>= minimum``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+
+
+def require_positive_finite(value, name: str) -> None:
+    """``value`` must be a finite real number ``> 0``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be positive and finite, got {value}")
+
+
+def require_finite(value, name: str) -> None:
+    """``value`` must be a finite real number (any sign)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ConfigError(f"{name} must be finite, got {value}")
