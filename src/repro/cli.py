@@ -265,7 +265,7 @@ def _cmd_autocts(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import render_report
 
-    print(render_report(args.path, max_depth=args.max_depth))
+    print(render_report(args.path, max_depth=args.max_depth, job=args.job))
     return 0
 
 
@@ -274,9 +274,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from .experiments import SCALES, pretrain_variant
+    from .obs import default_span_buffer
     from .runtime import default_checkpoint_dir
-    from .service import Daemon, Engine, ServiceAPI, ServiceDB
+    from .service import Daemon, Engine, MetricsSampler, ServiceAPI, ServiceDB
+    from .service.daemon import resolve_metrics_interval
 
+    # Validate before the (slow) pretrain so a bad knob fails fast.
+    metrics_interval = resolve_metrics_interval(args.metrics_interval)
     trace_path = _configure_observability(args)
     scale = SCALES[args.scale]
     print(f"pre-training '{args.variant}' artifacts at scale '{scale.name}'...")
@@ -289,19 +293,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_enabled=not args.no_eval_cache,
     )
     db = ServiceDB(args.db)
+    buffer = default_span_buffer()
     daemons = [
-        Daemon(db, engine).start(recover=(index == 0))
+        Daemon(db, engine, span_buffer=buffer).start(recover=(index == 0))
         for index in range(args.daemons)
     ]
-    api = ServiceAPI(db, engine, host=args.host, port=args.port).start()
+    api = ServiceAPI(
+        db, engine, host=args.host, port=args.port, span_buffer=buffer
+    ).start()
+    sampler = MetricsSampler(db, interval=metrics_interval, source=api.address)
+    sampler.start()
     print(f"engine {engine.fingerprint[:16]} (registry: {db.path})")
     print(f"serving on {api.address} ({args.daemons} worker daemon(s))")
+    if sampler.enabled:
+        print(f"metrics history sampled every {sampler.interval:g}s (GET /metrics/history)")
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
         print("shutting down...")
     finally:
+        sampler.stop()
         api.stop()
         for daemon in daemons:
             daemon.stop()
@@ -627,6 +639,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk proxy-evaluation score cache",
     )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between persisted metrics-history snapshots "
+        "(default: $REPRO_METRICS_INTERVAL or 30; 0 disables the sampler)",
+    )
     _add_observability_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -699,6 +719,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="truncate the span tree below this depth",
+    )
+    report.add_argument(
+        "--job",
+        default=None,
+        metavar="ID",
+        help="only spans stamped with this correlation id (a service job id "
+        "or req-<n> request id)",
     )
     report.set_defaults(func=_cmd_trace)
 

@@ -21,17 +21,25 @@ See ``docs/observability.md``.
 
 from __future__ import annotations
 
+from .export import (
+    prometheus_name,
+    render_dashboard,
+    render_prometheus,
+)
 from .heartbeat import (
     Heartbeat,
     configure_heartbeat,
     heartbeat,
     heartbeat_enabled,
+    latency_summary,
 )
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_index,
+    bucket_upper_bound,
     get_registry,
     global_registry,
     metrics_scope,
@@ -50,6 +58,7 @@ from .report import (
     Trace,
     build_tree,
     candidate_timeline,
+    filter_spans,
     load_trace,
     render_report,
     render_rollup,
@@ -61,10 +70,15 @@ from .trace import (
     NULL_SPAN,
     TRACE_ENV,
     TRACE_SCHEMA_VERSION,
+    SpanBuffer,
     SpanHandle,
     Tracer,
+    buffered_tracer,
     configure_tracing,
+    correlation_scope,
+    current_correlation,
     current_span_id,
+    default_span_buffer,
     file_tracer,
     get_tracer,
     span,
@@ -80,30 +94,42 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "PROFILE_ENV",
+    "SpanBuffer",
     "SpanHandle",
     "StageStats",
     "TRACE_ENV",
     "TRACE_SCHEMA_VERSION",
     "Trace",
     "Tracer",
+    "bucket_index",
+    "bucket_upper_bound",
+    "buffered_tracer",
     "build_tree",
     "candidate_timeline",
     "configure_heartbeat",
     "configure_tracing",
+    "correlation_scope",
+    "current_correlation",
     "current_span_id",
+    "default_span_buffer",
     "file_tracer",
+    "filter_spans",
     "get_registry",
     "get_tracer",
     "global_registry",
     "heartbeat",
     "heartbeat_enabled",
+    "latency_summary",
     "load_trace",
     "metrics_scope",
     "profile",
     "profiling_enabled",
+    "prometheus_name",
     "record_forward",
     "record_op",
+    "render_dashboard",
     "render_metrics",
+    "render_prometheus",
     "render_report",
     "render_rollup",
     "render_timeline",

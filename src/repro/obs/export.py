@@ -1,0 +1,206 @@
+"""Export surfaces for the metrics registry: Prometheus text + HTML dash.
+
+Two renderers over the same :meth:`MetricsRegistry.snapshot` contract, both
+dependency-free (stdlib only) so the service can expose them without
+growing the install footprint:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``GET /metrics?format=prom``).  Histograms export their log-bucket
+  counts as the cumulative ``_bucket{le="..."}`` series Prometheus expects,
+  plus ``_sum``/``_count``, so external scrapers compute the same quantiles
+  the in-process :meth:`Histogram.quantile` reports.
+* :func:`render_dashboard` — the ``GET /dash`` status page: a single
+  self-contained HTML document (no scripts, no external assets, a meta
+  refresh for liveness) showing queue depth, worker heartbeats, per-state
+  job counts, latency quantiles, cache hit rates, and recent traces.
+
+Both renderers iterate snapshots sorted by metric name (the registry
+guarantees the order), so successive scrapes diff cleanly.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from .metrics import bucket_upper_bound
+
+_PROM_KINDS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus-legal one."""
+    cleaned = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_" for ch in name
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict[str, dict]) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = _PROM_KINDS.get(snap.get("kind"))
+        if kind is None:
+            continue
+        prom = prometheus_name(name)
+        lines.append(f"# TYPE {prom} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            buckets = snap.get("buckets") or {}
+            for index in sorted(int(key) for key in buckets):
+                cumulative += int(buckets[str(index)])
+                le = _format_value(bucket_upper_bound(index))
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {int(snap["count"])}')
+            lines.append(f"{prom}_sum {_format_value(snap['total'])}")
+            lines.append(f"{prom}_count {int(snap['count'])}")
+        else:
+            lines.append(f"{prom} {_format_value(snap['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Dashboard
+# ---------------------------------------------------------------------------
+
+_DASH_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 1.5rem;
+       background: #11151c; color: #d8dee9; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem;
+     border-bottom: 1px solid #2e3440; padding-bottom: .25rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { text-align: left; padding: .2rem .8rem .2rem 0; font-size: .85rem; }
+th { color: #81a1c1; font-weight: 600; }
+tr:nth-child(even) td { background: #161b24; }
+.num { text-align: right; } .muted { color: #4c566a; }
+.badge { padding: 0 .4rem; border-radius: .3rem; background: #2e3440; }
+"""
+
+
+def _table(headers: list[str], rows: list[list[str]], numeric: set[int]) -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
+    body = []
+    for row in rows:
+        cells = "".join(
+            f'<td class="num">{html.escape(cell)}</td>'
+            if i in numeric
+            else f"<td>{html.escape(cell)}</td>"
+            for i, cell in enumerate(row)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    if not body:
+        body.append('<tr><td class="muted">(none)</td></tr>')
+    return f"<table><tr>{head}</tr>{''.join(body)}</table>"
+
+
+def _fmt(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_dashboard(data: dict, refresh: int = 5) -> str:
+    """Render the ``/dash`` status page from a pre-gathered data dict.
+
+    Expected keys (all optional — missing sections render as empty):
+    ``title``, ``jobs`` (state → count), ``workers`` (list of
+    ``{owner, job, age}``), ``cache`` (label → display string), ``metrics``
+    (a registry snapshot; histograms feed the latency table), and
+    ``traces`` (recent span records, newest last).
+    """
+    title = str(data.get("title", "repro service"))
+    sections: list[str] = []
+
+    jobs = data.get("jobs") or {}
+    depth = sum(int(n) for state, n in jobs.items() if state in ("pending", "running"))
+    job_rows = [[state, str(jobs[state])] for state in sorted(jobs)]
+    sections.append(
+        f"<h2>Jobs <span class=\"badge\">queue depth {depth}</span></h2>"
+        + _table(["state", "count"], job_rows, numeric={1})
+    )
+
+    worker_rows = [
+        [
+            str(worker.get("owner", "?")),
+            str(worker.get("job") or "idle"),
+            f"{float(worker.get('age', 0.0)):.1f}s",
+        ]
+        for worker in data.get("workers") or []
+    ]
+    sections.append(
+        "<h2>Workers</h2>"
+        + _table(["owner", "job", "last beat"], worker_rows, numeric={2})
+    )
+
+    metrics = data.get("metrics") or {}
+    latency_rows = [
+        [
+            name,
+            str(snap.get("count", 0)),
+            _fmt(snap.get("mean")),
+            _fmt(snap.get("p50")),
+            _fmt(snap.get("p99")),
+            _fmt(snap.get("max")),
+        ]
+        for name, snap in sorted(metrics.items())
+        if snap.get("kind") == "histogram"
+    ]
+    sections.append(
+        "<h2>Latency (seconds)</h2>"
+        + _table(
+            ["metric", "n", "mean", "p50", "p99", "max"],
+            latency_rows,
+            numeric={1, 2, 3, 4, 5},
+        )
+    )
+
+    cache_rows = [[label, str(value)] for label, value in sorted((data.get("cache") or {}).items())]
+    sections.append(
+        "<h2>Caches</h2>" + _table(["cache", "hit rate"], cache_rows, numeric={1})
+    )
+
+    trace_rows = []
+    for record in reversed(list(data.get("traces") or [])[-40:]):
+        attrs = record.get("attrs") or {}
+        trace_rows.append(
+            [
+                str(record.get("name", "?")),
+                str(record.get("corr") or "-"),
+                f"{float(record.get('dur', 0.0)):.3f}s",
+                _shorten_json(attrs),
+            ]
+        )
+    sections.append(
+        "<h2>Recent traces</h2>"
+        + _table(["span", "job", "dur", "attrs"], trace_rows, numeric={2})
+    )
+
+    return (
+        "<!doctype html><html><head>"
+        f'<meta charset="utf-8"><meta http-equiv="refresh" content="{int(refresh)}">'
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_DASH_STYLE}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        + "".join(sections)
+        + "</body></html>"
+    )
+
+
+def _shorten_json(attrs: dict, limit: int = 96) -> str:
+    text = json.dumps(attrs, default=str, sort_keys=True)
+    return text if len(text) <= limit else text[: limit - 1] + "…"

@@ -78,3 +78,20 @@ def heartbeat(key: str, render: Callable[[], str], force: bool = False) -> bool:
     if not _enabled:
         return False
     return _default.beat(key, render, force=force)
+
+
+def latency_summary(histogram, unit: str = "s") -> str:
+    """Format a histogram's p50/p99 for a heartbeat line or dashboard cell.
+
+    Accepts a live :class:`~repro.obs.metrics.Histogram` or its
+    ``snapshot()`` dict; an instrument with no observations renders as
+    ``p50=- p99=-`` so heartbeat lines stay fixed-shape.
+    """
+    if histogram is None:
+        p50 = p99 = None
+    elif isinstance(histogram, dict):
+        p50, p99 = histogram.get("p50"), histogram.get("p99")
+    else:
+        p50, p99 = histogram.quantile(0.5), histogram.quantile(0.99)
+    fmt = lambda v: "-" if v is None else f"{v:.3g}{unit}"  # noqa: E731
+    return f"p50={fmt(p50)} p99={fmt(p99)}"

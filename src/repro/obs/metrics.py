@@ -32,6 +32,7 @@ Naming convention (see ``docs/observability.md``): dotted lowercase
 from __future__ import annotations
 
 import contextlib
+import math
 import threading
 
 
@@ -81,16 +82,52 @@ class Gauge:
         self.set(float(snap["value"]))
 
 
-class Histogram:
-    """Count/total/min/max summary of an observed distribution.
+# Log-spaced histogram buckets: 5 per decade, so any latency from
+# microseconds to hours lands within ~58% of its true value.  Bucket ``i``
+# covers ``(BASE**(i-1), BASE**i]``; the index is a pure function of the
+# observed value, so two registries bucketing the same observation always
+# agree and bucket counts merge exactly (addition) across processes.
+HISTOGRAM_BUCKETS_PER_DECADE = 5
+_LOG_BASE = math.log(10.0) / HISTOGRAM_BUCKETS_PER_DECADE
+# Values <= 0 (a clamped negative wait, an exact-zero duration) get one
+# dedicated bucket below every positive one, with upper bound 0.0.
+NONPOSITIVE_BUCKET = -(10**6)
+# Exponents clamped so BASE**i never overflows; base**400 ~ 1e80.
+_MIN_EXPONENT, _MAX_EXPONENT = -400, 400
 
-    Deliberately not bucketed: the consumers (rollup reports, heartbeat
-    throughput lines) only need totals and extremes, and a fixed-size
-    summary merges exactly across process boundaries.
+
+def bucket_index(value: float) -> int:
+    """The fixed log-bucket index of one observation."""
+    if value <= 0.0:
+        return NONPOSITIVE_BUCKET
+    exponent = math.ceil(math.log(value) / _LOG_BASE - 1e-12)
+    return min(max(exponent, _MIN_EXPONENT), _MAX_EXPONENT)
+
+
+def bucket_upper_bound(index: int) -> float:
+    """The inclusive upper bound of bucket ``index``."""
+    if index == NONPOSITIVE_BUCKET:
+        return 0.0
+    return math.exp(index * _LOG_BASE)
+
+
+class Histogram:
+    """Fixed log-bucketed summary of an observed distribution.
+
+    Tracks count/total/min/max plus a sparse map of log-bucket counts, from
+    which p50/p90/p99 are estimated (a quantile resolves to its bucket's
+    upper bound, clamped to the observed extremes).  Because the bucket of
+    an observation is a pure function of its value and every piece of state
+    merges exactly (counts add, extremes min/max), any split of an
+    observation stream across worker registries yields *identical* merged
+    quantiles to a single registry — the property ``tests/test_obs.py``
+    asserts with hypothesis and the service's ``/metrics`` endpoints rely
+    on when folding worker deltas.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "count", "total", "min", "max", "_parent")
+    QUANTILES = (0.5, 0.9, 0.99)
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_parent")
 
     def __init__(self, name: str, parent: "Histogram | None" = None) -> None:
         self.name = name
@@ -98,6 +135,7 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self.buckets: dict[int, int] = {}
         self._parent = parent
 
     def observe(self, value: float) -> None:
@@ -106,6 +144,8 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
         if self._parent is not None:
             self._parent.observe(value)
 
@@ -113,15 +153,37 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Returns the upper bound of the bucket containing the target rank,
+        clamped into ``[min, max]`` — a deterministic function of state
+        that merges exactly, so merged registries report bitwise-identical
+        quantiles.  ``None`` when nothing was observed.
+        """
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                return min(max(bucket_upper_bound(index), self.min), self.max)
+        return self.max  # unreachable unless state was merged inconsistently
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "kind": self.kind,
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "buckets": {str(index): n for index, n in sorted(self.buckets.items())},
         }
+        for q in self.QUANTILES:
+            snap[f"p{int(q * 100)}"] = self.quantile(q)
+        return snap
 
     def merge(self, snap: dict) -> None:
         count = int(snap["count"])
@@ -135,6 +197,11 @@ class Histogram:
                 continue
             ours = getattr(self, bound)
             setattr(self, bound, other if ours is None else pick(ours, other))
+        # Older snapshots (pre-bucket traces) simply carry no bucket map;
+        # the summary still merges, quantiles degrade to the extremes.
+        for key, n in (snap.get("buckets") or {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + int(n)
         if self._parent is not None:
             self._parent.merge(snap)
 
@@ -174,7 +241,14 @@ class MetricsRegistry:
     # Snapshot / merge / render
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, dict]:
-        """All instruments as plain JSON-safe dicts, sorted by name."""
+        """All instruments as plain JSON-safe dicts, sorted by name.
+
+        The sort is by metric *name alone*, never by kind or insertion
+        order, so snapshot diffs and every renderer downstream
+        (:meth:`render`, the Prometheus exposition in
+        :mod:`repro.obs.export`, ``/metrics`` bodies) are stable across
+        runs that create instruments in different orders.
+        """
         return {
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
@@ -201,7 +275,7 @@ class MetricsRegistry:
             if snap["kind"] == "histogram":
                 bounds = " ".join(
                     f"{bound}={snap[bound]:.4g}" if snap[bound] is not None else f"{bound}=-"
-                    for bound in ("min", "max")
+                    for bound in ("min", "max", "p50", "p90", "p99")
                 )
                 lines.append(
                     f"{name}: n={snap['count']} total={snap['total']:.4g} "

@@ -16,6 +16,7 @@ with a count so a truncated trace still reports.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 
@@ -43,10 +44,32 @@ class StageStats:
     total: float = 0.0
     max: float = 0.0
     errors: int = 0
+    durations: list[float] = field(default_factory=list)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile of the recorded durations (nearest-rank).
+
+        Offline rollups keep every duration, so unlike the live registry's
+        log-bucketed :class:`~repro.obs.metrics.Histogram` these quantiles
+        are exact, not bucket upper bounds.
+        """
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
 
 
 def load_trace(path: str | os.PathLike) -> Trace:
@@ -89,6 +112,7 @@ def stage_rollup(spans: list[dict]) -> dict[str, StageStats]:
         stats.count += 1
         stats.total += duration
         stats.max = max(stats.max, duration)
+        stats.durations.append(duration)
         if "error" in record.get("attrs", {}):
             stats.errors += 1
     return rollup
@@ -174,12 +198,16 @@ def render_tree(
 
 def render_rollup(rollup: dict[str, StageStats]) -> str:
     """The per-stage time/count table, widest totals first."""
-    header = f"{'stage':<18} {'count':>6} {'total s':>9} {'mean s':>9} {'max s':>9} {'errors':>7}"
+    header = (
+        f"{'stage':<18} {'count':>6} {'total s':>9} {'mean s':>9} "
+        f"{'p50 s':>9} {'p99 s':>9} {'max s':>9} {'errors':>7}"
+    )
     lines = [header, "-" * len(header)]
     for name, stats in sorted(rollup.items(), key=lambda kv: -kv[1].total):
         lines.append(
             f"{name:<18} {stats.count:>6} {stats.total:>9.3f} "
-            f"{stats.mean:>9.3f} {stats.max:>9.3f} {stats.errors:>7}"
+            f"{stats.mean:>9.3f} {stats.p50:>9.3f} {stats.p99:>9.3f} "
+            f"{stats.max:>9.3f} {stats.errors:>7}"
         )
     return "\n".join(lines)
 
@@ -222,13 +250,34 @@ def render_timeline(spans: list[dict], limit: int = 60) -> str:
     return "\n".join(lines)
 
 
-def render_report(path: str | os.PathLike, max_depth: int | None = None) -> str:
-    """The full ``repro trace report`` output for one trace file."""
+def filter_spans(spans: list[dict], job: str) -> list[dict]:
+    """Only the spans stamped with correlation id ``job``."""
+    job = str(job)
+    return [record for record in spans if record.get("corr") == job]
+
+
+def render_report(
+    path: str | os.PathLike,
+    max_depth: int | None = None,
+    job: str | None = None,
+) -> str:
+    """The full ``repro trace report`` output for one trace file.
+
+    With ``job`` set, only spans carrying that correlation id are reported —
+    the offline twin of the service's ``GET /jobs/<id>/trace``.
+    """
     trace = load_trace(path)
+    if job is not None:
+        trace = Trace(
+            meta=trace.meta,
+            spans=filter_spans(trace.spans, job),
+            skipped_lines=trace.skipped_lines,
+        )
     roots, children = build_tree(trace.spans)
     sections = [
         f"trace {os.fspath(path)}: schema v{trace.schema}, "
         f"{len(trace.spans)} spans"
+        + (f" for job {job}" if job is not None else "")
         + (f", {trace.skipped_lines} unparseable line(s) skipped" if trace.skipped_lines else ""),
         "",
         "== per-stage rollup ==",

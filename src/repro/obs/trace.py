@@ -23,10 +23,19 @@ and ``tests/test_trace_roundtrip.py``): with tracing disabled the hot paths
 are bitwise-inert — :func:`span` costs one ``None`` check — and with it
 enabled every score is bitwise-identical to an untraced run, because timing
 is observed but never fed back into computation.
+
+Service-mode additions: a *correlation id* (the HTTP request id or queued
+job id) made ambient with :func:`correlation_scope` is stamped as ``corr``
+on every span emitted inside the scope — including worker-collected spans
+at relay time — so ``GET /jobs/<id>/trace`` and
+``repro trace report --job`` can isolate one job's spans from the shared
+stream.  :class:`SpanBuffer` keeps a bounded in-memory window of recent
+records for those endpoints and the ``/dash`` status page.
 """
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import itertools
 import json
@@ -116,19 +125,21 @@ class Tracer:
         finally:
             duration = time.perf_counter() - t0
             stack.pop()
-            self.emit(
-                {
-                    "v": TRACE_SCHEMA_VERSION,
-                    "kind": "span",
-                    "id": handle.id,
-                    "parent": parent,
-                    "name": name,
-                    "wall0": wall0,
-                    "dur": duration,
-                    "pid": os.getpid(),
-                    "attrs": handle.attrs,
-                }
-            )
+            record = {
+                "v": TRACE_SCHEMA_VERSION,
+                "kind": "span",
+                "id": handle.id,
+                "parent": parent,
+                "name": name,
+                "wall0": wall0,
+                "dur": duration,
+                "pid": os.getpid(),
+                "attrs": handle.attrs,
+            }
+            corr = current_correlation()
+            if corr is not None:
+                record["corr"] = corr
+            self.emit(record)
 
     # ------------------------------------------------------------------
     # Emission
@@ -149,13 +160,24 @@ class Tracer:
         annotated with ``root_attrs`` — the attempt number and evaluation
         fingerprint only the parent knows.  Child spans keep their worker-
         local parent links, so the worker's subtree survives intact.
+
+        Workers do not know which job their unit of work belongs to, so the
+        ambient correlation id (the relaying thread runs inside the job's
+        :func:`correlation_scope`) is stamped onto every relayed span that
+        does not already carry one.
         """
+        corr = current_correlation()
         for record in records:
-            if record.get("kind") == "span" and record.get("parent") is None:
-                record = dict(record)
-                record["parent"] = parent_id
-                if root_attrs:
-                    record["attrs"] = {**record.get("attrs", {}), **root_attrs}
+            if record.get("kind") == "span":
+                is_root = record.get("parent") is None
+                if is_root or (corr is not None and "corr" not in record):
+                    record = dict(record)
+                if is_root:
+                    record["parent"] = parent_id
+                    if root_attrs:
+                        record["attrs"] = {**record.get("attrs", {}), **root_attrs}
+                if corr is not None and "corr" not in record:
+                    record["corr"] = corr
             self.emit(record)
 
     def close(self) -> None:
@@ -269,3 +291,115 @@ def span(name: str, **attrs):
 def current_span_id() -> str | None:
     tracer = get_tracer()
     return tracer.current_span_id() if tracer is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Correlation ids: tie every span in a request/job to one stamped id
+# ---------------------------------------------------------------------------
+
+_corr_tls = threading.local()
+
+
+def _corr_stack() -> list[str]:
+    stack = getattr(_corr_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _corr_tls.stack = stack
+    return stack
+
+
+def current_correlation() -> str | None:
+    """The innermost ambient correlation id on this thread, if any."""
+    stack = _corr_stack()
+    return stack[-1] if stack else None
+
+
+@contextlib.contextmanager
+def correlation_scope(correlation_id: str):
+    """Stamp ``correlation_id`` as ``corr`` on every span of this thread.
+
+    The service uses the job id for daemon-executed work (stable across
+    requeue, so a recovered job keeps its correlation) and a per-request id
+    for synchronous HTTP handlers.  Scopes nest; the innermost wins.
+    """
+    stack = _corr_stack()
+    stack.append(str(correlation_id))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+# ---------------------------------------------------------------------------
+# Span buffer: a bounded in-memory window of recent records
+# ---------------------------------------------------------------------------
+
+
+class SpanBuffer:
+    """Keep the last ``maxlen`` span records for live queries.
+
+    Usable directly as a :class:`Tracer` sink (it is callable), or teed next
+    to a file sink via :func:`buffered_tracer`.  Backs ``GET
+    /jobs/<id>/trace`` (filter by correlation id) and the dashboard's
+    recent-traces panel; bounded so a long-lived service cannot grow without
+    limit.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._records: collections.deque[dict] = collections.deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def __call__(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(
+        self, correlation: str | None = None, limit: int | None = None
+    ) -> list[dict]:
+        """Buffered span records, oldest first; optionally one correlation's."""
+        with self._lock:
+            records = list(self._records)
+        if correlation is not None:
+            records = [r for r in records if r.get("corr") == str(correlation)]
+        if limit is not None and len(records) > limit:
+            records = records[-limit:]
+        return records
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+_default_span_buffer: SpanBuffer | None = None
+_default_span_buffer_lock = threading.Lock()
+
+
+def default_span_buffer() -> SpanBuffer:
+    """The process-wide span buffer, created on first use."""
+    global _default_span_buffer
+    with _default_span_buffer_lock:
+        if _default_span_buffer is None:
+            _default_span_buffer = SpanBuffer()
+        return _default_span_buffer
+
+
+def buffered_tracer(buffer: SpanBuffer, base: Tracer | None = None) -> Tracer:
+    """A tracer teeing every record into ``buffer`` and, optionally, ``base``.
+
+    The service scopes this tracer around request handling and job execution
+    (see :func:`tracer_scope`), so live endpoints see service spans without
+    installing a process-default tracer — batch CLI runs and tests keep
+    their existing disabled-by-default behavior.
+    """
+    if base is None:
+        return Tracer(buffer)
+
+    def sink(record: dict) -> None:
+        buffer(record)
+        base.emit(record)
+
+    return Tracer(sink)

@@ -47,7 +47,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.health import DivergenceError
-from ..obs.heartbeat import heartbeat
+from ..obs.heartbeat import heartbeat, latency_summary
 from ..obs.metrics import MetricsRegistry, get_registry, metrics_scope
 from ..obs.trace import Tracer, get_tracer, span, tracer_scope, tracing_enabled
 from ..space.archhyper import ArchHyper
@@ -185,7 +185,8 @@ class EvalStats:
         line = (
             f"proxy evaluations: {count('misses')} fresh, {count('hits')} cache hits "
             f"({hit_rate:.1%} hit rate); "
-            f"eval wall {eval_wall:.2f}s total, {mean:.3f}s/eval mean; "
+            f"eval wall {eval_wall:.2f}s total, {mean:.3f}s/eval mean "
+            f"({latency_summary(seconds)}); "
             f"{count('batches')} batches in "
             f"{float(snap.get('eval.batch_seconds', {}).get('value', 0.0)):.2f}s "
             f"(compute {eval_wall:.2f}s, queue wait {queue_wait:.2f}s)"
@@ -425,7 +426,9 @@ class ProxyEvaluator:
                     lambda: (
                         f"evals {done}/{len(jobs)}; "
                         f"{done / max(time.perf_counter() - start, 1e-9):.2f} eval/s "
-                        f"this batch; cache hit rate {self.stats.hit_rate:.0%}; "
+                        f"this batch; "
+                        f"{latency_summary(self.stats.registry.histogram('eval.seconds'))}; "
+                        f"cache hit rate {self.stats.hit_rate:.0%}; "
                         f"queue wait {self.stats.queue_wait_seconds:.1f}s"
                     ),
                 )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -256,8 +257,17 @@ class FidelityScheduler:
                 epochs=budget,
                 candidates=len(active),
             ) as rung_span:
+                rung_started = time.perf_counter()
                 rung_scores = evaluator.evaluate_pairs(
                     [pairs[i] for i in active], rung_config, progress=progress
+                )
+                # Per-rung wall time quantiles (a rung is one eval sweep, so
+                # queue depth shows up here as p99 >> p50).
+                registry.histogram("fidelity.rung_seconds").observe(
+                    time.perf_counter() - rung_started
+                )
+                registry.histogram(f"fidelity.rung{rung_index}.epoch_seconds").observe(
+                    (time.perf_counter() - rung_started) / max(1, budget)
                 )
                 increment = 0
                 for i, score in zip(active, rung_scores):

@@ -11,7 +11,12 @@ by the daemon and the CLI.  See ``docs/service.md``.
 """
 
 from .api import ServiceAPI
-from .daemon import Daemon
+from .daemon import (
+    METRICS_INTERVAL_ENV,
+    Daemon,
+    MetricsSampler,
+    resolve_metrics_interval,
+)
 from .db import (
     IllegalTransitionError,
     RegistryCorruptError,
@@ -42,6 +47,8 @@ __all__ = [
     "JOB_KINDS",
     "JobRequest",
     "JobResult",
+    "METRICS_INTERVAL_ENV",
+    "MetricsSampler",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RankOutcome",
@@ -56,6 +63,7 @@ __all__ = [
     "default_db_path",
     "execute_job",
     "parse_runtime",
+    "resolve_metrics_interval",
     "parse_submit",
     "request_fingerprint",
     "task_fingerprint",

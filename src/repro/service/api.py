@@ -6,14 +6,25 @@ protocol needs.  Routes:
 
 * ``GET  /health``        — liveness, engine fingerprint, queue counts
 * ``GET  /metrics``       — process-wide metrics snapshot
+  (``?format=prom`` renders the Prometheus text exposition instead)
+* ``GET  /metrics/history`` — persisted sampler snapshots
+  (``?since=<ts>&limit=<n>``)
+* ``GET  /dash``          — the live HTML status dashboard
 * ``POST /jobs``          — enqueue a job (``202``; ``200`` when deduped)
 * ``GET  /jobs``          — list jobs (``?status=pending`` filters)
 * ``GET  /jobs/<id>``     — one job, with its result inlined once done
+* ``GET  /jobs/<id>/trace`` — that job's spans from the shared span buffer
 * ``POST /jobs/<id>/requeue`` — send a failed job back to the queue
 * ``GET  /results/<fp>``  — a result body by content address
 * ``POST /rank``          — *synchronous* zero-shot ranking: the cheap,
   comparator-only path answered in-request; duplicate submissions are
   served from the registry with zero new model forwards
+
+Observability: every request runs under a per-request correlation scope
+(synchronous work traced in-request answers to its ``req-<n>`` id), each
+endpoint's latency lands in a ``http.<method>_<route>.seconds`` quantile
+histogram, and the write routes emit ``http`` spans into the span buffer
+shared with the daemons.
 
 Every validation failure is a :class:`~repro.service.protocol.ProtocolError`
 rendered as its status (4xx) with a JSON ``{"error": ...}`` body; unexpected
@@ -23,12 +34,24 @@ threading: a long synchronous ``/rank`` cannot block ``/health``.
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..obs import global_registry
+from ..obs import (
+    SpanBuffer,
+    buffered_tracer,
+    correlation_scope,
+    default_span_buffer,
+    get_tracer,
+    global_registry,
+    render_dashboard,
+    render_prometheus,
+    tracer_scope,
+)
 from .db import RegistryError, ServiceDB, UnknownJobError
 from .engine import Engine
 from .jobs import execute_job
@@ -42,6 +65,40 @@ from .protocol import (
 logger = logging.getLogger(__name__)
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024  # inline series payloads can be large
+
+
+class RawResponse:
+    """A non-JSON response body (Prometheus text, dashboard HTML)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+def _parse_query(query: str) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        if key:
+            params[key] = value
+    return params
+
+
+def _cache_rates(snapshot: dict[str, dict]) -> dict[str, str]:
+    """Hit rates for every ``<name>.hits``/``<name>.misses`` counter pair."""
+    rates: dict[str, str] = {}
+    for name, snap in snapshot.items():
+        if not name.endswith(".hits") or snap.get("kind") != "counter":
+            continue
+        prefix = name[: -len(".hits")]
+        hits = float(snap.get("value") or 0.0)
+        misses = float((snapshot.get(prefix + ".misses") or {}).get("value") or 0.0)
+        total = hits + misses
+        if total > 0:
+            rates[prefix] = f"{hits / total:.0%} ({int(hits)}/{int(total)})"
+    return rates
 
 
 class ServiceAPI:
@@ -58,6 +115,7 @@ class ServiceAPI:
         engine: Engine,
         host: str = "127.0.0.1",
         port: int = 0,
+        span_buffer: SpanBuffer | None = None,
     ) -> None:
         self.db = db
         self.engine = engine
@@ -65,6 +123,11 @@ class ServiceAPI:
         self._requested_port = port
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        # Shared with the daemons (pass the same buffer to both) so
+        # /jobs/<id>/trace sees worker-executed spans, not just API ones.
+        self.span_buffer = span_buffer if span_buffer is not None else default_span_buffer()
+        self._tracer = buffered_tracer(self.span_buffer, base=get_tracer())
+        self._request_ids = itertools.count()
         # Dedup economy only: two identical /rank requests landing together
         # should compute once, not twice (check registry -> execute -> store
         # under one lock).  Thread-safety of ranking itself lives in
@@ -117,8 +180,56 @@ class ServiceAPI:
             "jobs": self.db.counts(),
         }
 
-    def handle_metrics(self) -> tuple[int, dict]:
-        return 200, {"metrics": global_registry().snapshot()}
+    def handle_metrics(self, params: dict[str, str] | None = None) -> tuple[int, object]:
+        snapshot = global_registry().snapshot()
+        fmt = (params or {}).get("format", "")
+        if fmt == "prom":
+            return 200, RawResponse(
+                render_prometheus(snapshot), "text/plain; version=0.0.4"
+            )
+        if fmt and fmt != "json":
+            raise ProtocolError(f"unknown metrics format {fmt!r}")
+        return 200, {"metrics": snapshot}
+
+    def handle_metrics_history(self, params: dict[str, str]) -> tuple[int, dict]:
+        try:
+            since = float(params["since"]) if params.get("since") else None
+            limit = int(params.get("limit") or 500)
+        except ValueError as exc:
+            raise ProtocolError(f"bad history query ({exc})") from exc
+        if limit <= 0:
+            raise ProtocolError(f"limit must be positive, got {limit}")
+        return 200, {"history": self.db.metrics_history(since=since, limit=limit)}
+
+    def handle_job_trace(self, job_id: str) -> tuple[int, dict]:
+        job = self.db.get_job(job_id)  # 404 via UnknownJobError if absent
+        return 200, {
+            "job": job["id"],
+            "status": job["status"],
+            "attempts": job["attempts"],
+            "spans": self.span_buffer.records(correlation=job["id"]),
+        }
+
+    def handle_dash(self) -> tuple[int, RawResponse]:
+        snapshot = global_registry().snapshot()
+        now = time.time()
+        workers = [
+            {
+                "owner": job.get("owner") or "?",
+                "job": job["id"],
+                "age": max(0.0, now - float(job.get("updated") or now)),
+            }
+            for job in self.db.list_jobs("running")
+        ]
+        data = {
+            "title": f"repro service · {self.host}:{self.port}",
+            "jobs": self.db.counts(),
+            "workers": workers,
+            "metrics": snapshot,
+            "cache": _cache_rates(snapshot),
+            "traces": self.span_buffer.records(limit=40),
+        }
+        return 200, RawResponse(render_dashboard(data), "text/html; charset=utf-8")
 
     def handle_submit(self, payload, tenant: str | None) -> tuple[int, dict]:
         request = parse_submit(payload, tenant=tenant)
@@ -211,10 +322,15 @@ def _make_handler(service: ServiceAPI):
         # --------------------------------------------------------------
         # Plumbing
         # --------------------------------------------------------------
-        def _send(self, status: int, body: dict) -> None:
-            data = json.dumps(body).encode()
+        def _send(self, status: int, body) -> None:
+            if isinstance(body, RawResponse):
+                data = body.text.encode()
+                content_type = body.content_type
+            else:
+                data = json.dumps(body).encode()
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)
@@ -234,8 +350,14 @@ def _make_handler(service: ServiceAPI):
         def _dispatch(self, method: str) -> None:
             path, _, query = self.path.partition("?")
             parts = [p for p in path.split("/") if p]
+            request_id = f"req-{next(service._request_ids)}"
+            started = time.perf_counter()
             try:
-                status, body = self._route(method, parts, query)
+                # Every request gets a correlation scope, so spans emitted
+                # by synchronous in-request work (POST /rank) carry its
+                # req-<n> id; the self-observation reads stay span-free.
+                with tracer_scope(service._tracer), correlation_scope(request_id):
+                    status, body = self._route(method, parts, query)
             except ProtocolError as exc:
                 status, body = exc.status, {"error": str(exc)}
             except UnknownJobError as exc:
@@ -245,22 +367,32 @@ def _make_handler(service: ServiceAPI):
             except Exception as exc:
                 logger.exception("unhandled error serving %s %s", method, path)
                 status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            elapsed = time.perf_counter() - started
+            registry = global_registry()
+            registry.histogram("http.request.seconds").observe(elapsed)
+            route = parts[0] if parts else "root"
+            registry.histogram(
+                f"http.{method.lower()}_{route}.seconds"
+            ).observe(elapsed)
             self._send(status, body)
 
         def _route(self, method: str, parts: list[str], query: str):
             tenant = self.headers.get("X-Repro-Tenant")
             if method == "GET":
+                params = _parse_query(query)
                 if parts == ["health"]:
                     return service.handle_health()
                 if parts == ["metrics"]:
-                    return service.handle_metrics()
+                    return service.handle_metrics(params)
+                if parts == ["metrics", "history"]:
+                    return service.handle_metrics_history(params)
+                if parts == ["dash"]:
+                    return service.handle_dash()
                 if parts == ["jobs"]:
-                    status_filter = None
-                    for pair in query.split("&"):
-                        key, _, value = pair.partition("=")
-                        if key == "status" and value:
-                            status_filter = value
+                    status_filter = params.get("status") or None
                     return service.handle_jobs(status_filter)
+                if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                    return service.handle_job_trace(parts[1])
                 if len(parts) == 2 and parts[0] == "jobs":
                     return service.handle_job(parts[1])
                 if len(parts) == 2 and parts[0] == "results":

@@ -38,16 +38,52 @@ process) or as the only occupant of a process (``repro serve --no-api``).
 from __future__ import annotations
 
 import logging
+import os
 import threading
 import time
 import uuid
 
+from ..obs import (
+    SpanBuffer,
+    buffered_tracer,
+    correlation_scope,
+    default_span_buffer,
+    get_registry,
+    get_tracer,
+    tracer_scope,
+)
+from ..utils.validation import ConfigError, require, require_finite
 from .db import IllegalTransitionError, ServiceDB, UnknownJobError
 from .engine import Engine
 from .jobs import execute_job
 from .protocol import JobRequest, RuntimeOverrides, parse_runtime
 
 logger = logging.getLogger(__name__)
+
+METRICS_INTERVAL_ENV = "REPRO_METRICS_INTERVAL"
+DEFAULT_METRICS_INTERVAL = 30.0
+
+
+def resolve_metrics_interval(value=None) -> float:
+    """Validate the metrics-sampler interval; ``0`` disables the sampler.
+
+    Precedence: explicit ``value`` (CLI flag) over ``$REPRO_METRICS_INTERVAL``
+    over the 30s default.  Anything that is not a finite number ``>= 0``
+    raises a typed :class:`ConfigError` (the CLI renders it as exit 2).
+    """
+    if value is None:
+        env = os.environ.get(METRICS_INTERVAL_ENV)
+        if env is None or env == "":
+            return DEFAULT_METRICS_INTERVAL
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigError(
+                f"${METRICS_INTERVAL_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+    require_finite(value, "metrics interval")
+    require(value >= 0, f"metrics interval must be >= 0, got {value}")
+    return float(value)
 
 
 def _request_from_row(job: dict) -> JobRequest:
@@ -90,11 +126,18 @@ class Daemon:
         owner: str | None = None,
         heartbeat_interval: float = 1.0,
         recover_stale_after: float | None = None,
+        span_buffer: SpanBuffer | None = None,
     ) -> None:
         self.db = db
         self.engine = engine
         self.poll_interval = poll_interval
         self.owner = owner or f"worker-{uuid.uuid4().hex[:8]}"
+        # Every job runs under a tracer that tees into the (shared) span
+        # buffer — backing /jobs/<id>/trace — and into whatever file tracer
+        # was ambient when the daemon was built, so --trace still captures
+        # service runs.  Scoped per-execution; never installed globally.
+        self.span_buffer = span_buffer if span_buffer is not None else default_span_buffer()
+        self._tracer = buffered_tracer(self.span_buffer, base=get_tracer())
         self.heartbeat_interval = heartbeat_interval
         self.recover_stale_after = (
             recover_stale_after
@@ -211,18 +254,38 @@ class Daemon:
         """
         started = time.perf_counter()
         self._active_job_id = job["id"]
+        registry = get_registry()
+        registry.histogram("service.job.queue_wait_seconds").observe(
+            float(job.get("queue_wait") or 0.0)
+        )
         try:
-            try:
-                request = _request_from_row(job)
-                result = execute_job(self.engine, request, job["fingerprint"])
-            except Exception as exc:
-                logger.exception("job %s failed", job["id"])
-                self._transition_safe(
-                    job["id"], "failed", error=f"{type(exc).__name__}: {exc}"
-                )
-                return
+            # The job id doubles as the correlation id: it is stable across
+            # requeue/recovery, so every span of every attempt — including
+            # pool-worker spans stamped at relay time — answers to
+            # GET /jobs/<id>/trace.
+            with tracer_scope(self._tracer), correlation_scope(job["id"]), \
+                    self._tracer.span(
+                        "job",
+                        job=job["id"],
+                        kind=job["kind"],
+                        attempt=job["attempts"],
+                        owner=self.owner,
+                    ) as handle:
+                try:
+                    request = _request_from_row(job)
+                    result = execute_job(self.engine, request, job["fingerprint"])
+                except Exception as exc:
+                    handle.set(error=type(exc).__name__)
+                    logger.exception("job %s failed", job["id"])
+                    self._transition_safe(
+                        job["id"], "failed", error=f"{type(exc).__name__}: {exc}"
+                    )
+                    return
         finally:
             self._active_job_id = None
+            registry.histogram("service.job.execute_seconds").observe(
+                time.perf_counter() - started
+            )
         metrics = dict(result.metrics)
         metrics["job.seconds"] = {
             "kind": "gauge",
@@ -247,3 +310,66 @@ class Daemon:
             logger.warning(
                 "job %s: lost transition to %s (%s)", job_id, to_state, exc
             )
+
+
+class MetricsSampler:
+    """Periodically persist registry snapshots into ``metrics_history``.
+
+    One sampler per service process (started by ``repro serve`` unless
+    ``--metrics-interval 0``): every ``interval`` seconds it writes the
+    process-wide registry snapshot through
+    :meth:`~repro.service.db.ServiceDB.record_metrics` and prunes the table
+    to ``max_rows`` (downsampling the oldest half, so long-range history
+    thins out instead of vanishing).  Sampling failures are logged and the
+    loop keeps going — history is observability, never liveness.
+    """
+
+    def __init__(
+        self,
+        db: ServiceDB,
+        registry=None,
+        interval: float | None = None,
+        source: str = "",
+        max_rows: int = 2000,
+    ) -> None:
+        from ..obs import global_registry
+
+        self.db = db
+        self.registry = registry if registry is not None else global_registry()
+        self.interval = resolve_metrics_interval(interval)
+        self.source = source
+        self.max_rows = max_rows
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0
+
+    def sample_once(self) -> None:
+        self.db.record_metrics(self.registry.snapshot(), source=self.source)
+        self.db.prune_metrics_history(self.max_rows)
+        self.samples += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_once()
+            except Exception:
+                logger.exception("metrics sampler failed; continuing")
+
+    def start(self) -> "MetricsSampler":
+        if self.enabled and self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="metrics-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None

@@ -39,7 +39,7 @@ import time
 import uuid
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 SERVICE_DB_ENV = "REPRO_SERVICE_DB"
 
@@ -122,6 +122,23 @@ MIGRATIONS: tuple[tuple[str, ...], ...] = (
             created     REAL NOT NULL
         )
         """,
+    ),
+    # v1 -> v2: queue-wait accounting and persisted metrics history.
+    # ``queued_at`` stamps when a job (re)entered the pending queue, so a
+    # claim can report wait time; existing pending rows backfill from
+    # ``updated`` (their last state change is when they were queued).
+    (
+        "ALTER TABLE jobs ADD COLUMN queued_at REAL",
+        "UPDATE jobs SET queued_at = updated WHERE status = 'pending'",
+        """
+        CREATE TABLE metrics_history (
+            id       INTEGER PRIMARY KEY AUTOINCREMENT,
+            ts       REAL NOT NULL,
+            source   TEXT NOT NULL DEFAULT '',
+            snapshot TEXT NOT NULL
+        )
+        """,
+        "CREATE INDEX metrics_history_ts ON metrics_history (ts)",
     ),
 )
 
@@ -271,8 +288,8 @@ class ServiceDB:
             job_id = uuid.uuid4().hex[:12]
             conn.execute(
                 "INSERT INTO jobs (id, fingerprint, kind, task_fingerprint, "
-                "payload, status, tenants, created, updated) "
-                "VALUES (?, ?, ?, ?, ?, 'pending', ?, ?, ?)",
+                "payload, status, tenants, created, updated, queued_at) "
+                "VALUES (?, ?, ?, ?, ?, 'pending', ?, ?, ?, ?)",
                 (
                     job_id,
                     fingerprint,
@@ -280,6 +297,7 @@ class ServiceDB:
                     task_fingerprint,
                     json.dumps(payload, sort_keys=True),
                     json.dumps([tenant]),
+                    now,
                     now,
                     now,
                 ),
@@ -340,7 +358,14 @@ class ServiceDB:
                 "AND status = 'pending' RETURNING *",
                 (owner, now),
             ).fetchone()
-            return _job_row_to_dict(row) if row is not None else None
+            if row is None:
+                return None
+            job = _job_row_to_dict(row)
+            # How long the job sat queued before this claim (observability
+            # only; fed into the service.job.queue_wait_seconds histogram).
+            queued_at = job.get("queued_at")
+            job["queue_wait"] = max(0.0, now - queued_at) if queued_at else 0.0
+            return job
 
     def transition(
         self,
@@ -370,15 +395,19 @@ class ServiceDB:
                 raise IllegalTransitionError(
                     f"job {job_id}: illegal transition {current!r} -> {to_state!r}"
                 )
+            now = time.time()
             updated = conn.execute(
                 "UPDATE jobs SET status = ?, error = ?, "
-                "metrics = COALESCE(?, metrics), updated = ? "
+                "metrics = COALESCE(?, metrics), updated = ?, "
+                "queued_at = CASE WHEN ? = 'pending' THEN ? ELSE queued_at END "
                 "WHERE id = ? AND status = ?",
                 (
                     to_state,
                     error,
                     json.dumps(metrics, sort_keys=True) if metrics else None,
-                    time.time(),
+                    now,
+                    to_state,
+                    now,
                     job_id,
                     current,
                 ),
@@ -445,10 +474,12 @@ class ServiceDB:
             rows = conn.execute(query, params).fetchall()
             recovered = []
             for row in rows:
+                now = time.time()
                 conn.execute(
-                    "UPDATE jobs SET status = 'pending', owner = NULL, updated = ? "
+                    "UPDATE jobs SET status = 'pending', owner = NULL, "
+                    "updated = ?, queued_at = ? "
                     "WHERE id = ? AND status = 'running'",
-                    (time.time(), row["id"]),
+                    (now, now, row["id"]),
                 )
                 recovered.append(self._get_job(conn, row["id"]))
             return recovered
@@ -481,6 +512,72 @@ class ServiceDB:
             "SELECT body FROM results WHERE fingerprint = ?", (fingerprint,)
         ).fetchone()
         return json.loads(row["body"]) if row is not None else None
+
+    # ------------------------------------------------------------------
+    # Metrics history
+    # ------------------------------------------------------------------
+    def record_metrics(self, snapshot: dict, source: str = "") -> None:
+        """Persist one registry snapshot (the sampler thread's write path)."""
+        with self._write() as conn:
+            conn.execute(
+                "INSERT INTO metrics_history (ts, source, snapshot) VALUES (?, ?, ?)",
+                (time.time(), source, json.dumps(snapshot, sort_keys=True)),
+            )
+
+    def metrics_history(
+        self, since: float | None = None, limit: int = 500
+    ) -> list[dict]:
+        """Persisted snapshots, oldest first (the ``/metrics/history`` body)."""
+        conn = self._connection()
+        if since is None:
+            rows = conn.execute(
+                "SELECT ts, source, snapshot FROM metrics_history "
+                "ORDER BY ts DESC, id DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        else:
+            rows = conn.execute(
+                "SELECT ts, source, snapshot FROM metrics_history WHERE ts >= ? "
+                "ORDER BY ts DESC, id DESC LIMIT ?",
+                (float(since), int(limit)),
+            ).fetchall()
+        return [
+            {
+                "ts": row["ts"],
+                "source": row["source"],
+                "metrics": json.loads(row["snapshot"]),
+            }
+            for row in reversed(rows)
+        ]
+
+    def prune_metrics_history(self, max_rows: int = 2000) -> int:
+        """Bound the history table by downsampling its oldest half.
+
+        Rather than dropping everything past ``max_rows`` (which would
+        erase all long-range context), each pass deletes every second row
+        of the *oldest half* — old history thins out geometrically while
+        the recent window stays at full resolution.  Returns rows deleted.
+        """
+        deleted = 0
+        while True:
+            with self._write() as conn:
+                total = conn.execute(
+                    "SELECT COUNT(*) FROM metrics_history"
+                ).fetchone()[0]
+                if total <= max_rows:
+                    return deleted
+                oldest = conn.execute(
+                    "SELECT id FROM metrics_history ORDER BY ts, id LIMIT ?",
+                    (total // 2,),
+                ).fetchall()
+                victims = [row["id"] for row in oldest[::2]]
+                if not victims:
+                    return deleted
+                conn.executemany(
+                    "DELETE FROM metrics_history WHERE id = ?",
+                    [(victim,) for victim in victims],
+                )
+                deleted += len(victims)
 
 
 class _WriteTransaction:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -38,6 +39,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..comparator.scoring import RankingEngine
+from ..obs import get_registry, span
 from ..runtime import (
     Checkpoint,
     EvalCache,
@@ -232,26 +234,35 @@ class Engine:
         recomputing; only the encoder-forward count changes).  The whole
         rank runs under the engine's lock — see ``_rank_lock``.
         """
-        with self._rank_lock:
-            searcher = self._searcher(seed, top_k, initial_samples)
-            cached = self._rank_cache.get(task_fingerprint)
-            if cached is None:
-                preliminary = searcher.embed_task(task)
-                ranking_engine = RankingEngine(
-                    self.artifacts.model,
-                    preliminary=preliminary,
-                    space=self.artifacts.space.hyper_space,
+        started = time.perf_counter()
+        registry = get_registry()
+        try:
+            with self._rank_lock, span("engine-rank", task=task.name):
+                searcher = self._searcher(seed, top_k, initial_samples)
+                cached = self._rank_cache.get(task_fingerprint)
+                if cached is None:
+                    registry.counter("engine.rank_cache.misses").inc()
+                    preliminary = searcher.embed_task(task)
+                    ranking_engine = RankingEngine(
+                        self.artifacts.model,
+                        preliminary=preliminary,
+                        space=self.artifacts.space.hyper_space,
+                    )
+                    self._rank_cache[task_fingerprint] = (preliminary, ranking_engine)
+                    while len(self._rank_cache) > self.rank_cache_size:
+                        self._rank_cache.popitem(last=False)
+                else:
+                    registry.counter("engine.rank_cache.hits").inc()
+                    self._rank_cache.move_to_end(task_fingerprint)
+                    preliminary, ranking_engine = cached
+                top, comparisons = searcher.rank(
+                    preliminary, checkpoint=checkpoint, engine=ranking_engine
                 )
-                self._rank_cache[task_fingerprint] = (preliminary, ranking_engine)
-                while len(self._rank_cache) > self.rank_cache_size:
-                    self._rank_cache.popitem(last=False)
-            else:
-                self._rank_cache.move_to_end(task_fingerprint)
-                preliminary, ranking_engine = cached
-            top, comparisons = searcher.rank(
-                preliminary, checkpoint=checkpoint, engine=ranking_engine
+                return RankOutcome(top, comparisons, task.name)
+        finally:
+            registry.histogram("service.rank.seconds").observe(
+                time.perf_counter() - started
             )
-            return RankOutcome(top, comparisons, task.name)
 
     def search_task(
         self, task: Task, seed: int = 0, resume: bool = False
@@ -261,14 +272,21 @@ class Engine:
         :func:`~repro.experiments.harness.run_zero_shot`."""
         from ..experiments.harness import run_zero_shot
 
-        return run_zero_shot(
-            self.artifacts,
-            task,
-            self.scale,
-            seed=seed,
-            checkpoint_dir=self.checkpoint_dir,
-            resume=resume,
-        )
+        started = time.perf_counter()
+        try:
+            with span("engine-search", task=task.name):
+                return run_zero_shot(
+                    self.artifacts,
+                    task,
+                    self.scale,
+                    seed=seed,
+                    checkpoint_dir=self.checkpoint_dir,
+                    resume=resume,
+                )
+        finally:
+            get_registry().histogram("service.search.seconds").observe(
+                time.perf_counter() - started
+            )
 
     # ------------------------------------------------------------------
     # Long-running work (daemon jobs)

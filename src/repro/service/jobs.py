@@ -13,7 +13,7 @@ persists into the registry row (``GET /jobs/<id>`` streams it as progress).
 
 from __future__ import annotations
 
-from ..obs import MetricsRegistry, get_registry, metrics_scope
+from ..obs import MetricsRegistry, get_registry, metrics_scope, span
 from ..runtime import EvalProgress
 from ..space.archhyper import ArchHyper
 from .engine import Engine
@@ -115,5 +115,6 @@ def execute_job(engine: Engine, request: JobRequest, fingerprint: str) -> JobRes
     if executor is None:
         raise ProtocolError(f"unknown job kind {request.kind!r}")
     with metrics_scope(MetricsRegistry(parent=get_registry())) as registry:
-        body = executor(engine, request, fingerprint)
+        with span("execute", kind=request.kind, tenant=request.tenant):
+            body = executor(engine, request, fingerprint)
         return JobResult(body, registry.snapshot())

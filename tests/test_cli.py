@@ -106,6 +106,27 @@ class TestServiceParsers:
         assert args.db == "/tmp/reg.sqlite"
         assert args.no_eval_cache
 
+    def test_serve_parser_metrics_interval(self):
+        assert build_parser().parse_args(["serve"]).metrics_interval is None
+        args = build_parser().parse_args(["serve", "--metrics-interval", "7.5"])
+        assert args.metrics_interval == 7.5
+
+    def test_serve_rejects_malformed_metrics_interval_env(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_METRICS_INTERVAL", "soon")
+        # Validated before artifacts pretrain, so this fails fast as the
+        # usual typed-ConfigError exit 2.
+        assert main(["serve", "--port", "0"]) == 2
+        assert "REPRO_METRICS_INTERVAL" in capsys.readouterr().err
+
+    def test_trace_report_parser_job_filter(self):
+        assert build_parser().parse_args(["trace", "report", "t.jsonl"]).job is None
+        args = build_parser().parse_args(
+            ["trace", "report", "t.jsonl", "--job", "job-1"]
+        )
+        assert args.job == "job-1"
+
     def test_submit_parser_defaults(self):
         args = build_parser().parse_args(["submit", "SZ-TAXI"])
         assert args.kind == "rank"

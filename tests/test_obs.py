@@ -187,10 +187,15 @@ class TestMetricsRegistry:
         snap = registry.snapshot()
         assert snap["c"]["value"] == 3.5
         assert snap["g"]["value"] == 7.0
-        assert snap["h"] == {
-            "kind": "histogram", "count": 2, "total": 4.0,
-            "min": 1.0, "max": 3.0, "mean": 2.0,
-        }
+        h = snap["h"]
+        assert h["kind"] == "histogram"
+        assert h["count"] == 2 and h["total"] == 4.0
+        assert h["min"] == 1.0 and h["max"] == 3.0 and h["mean"] == 2.0
+        # The bucketed summary: one bucket per observation here, plus
+        # quantiles (bucket upper bounds clamped to the observed extremes).
+        assert sum(h["buckets"].values()) == 2
+        assert h["p50"] == 1.0
+        assert h["p90"] == 3.0 and h["p99"] == 3.0
 
     def test_kind_mismatch_raises(self):
         registry = MetricsRegistry()
@@ -450,3 +455,361 @@ class TestReport:
         assert "== span tree ==" in text
         assert "== candidate timeline ==" in text
         assert "attempt 2" in text and "diverged" in text
+
+
+# ---------------------------------------------------------------------------
+# Quantile histograms (bucketed summary, merge exactness)
+# ---------------------------------------------------------------------------
+
+
+class TestQuantileHistogram:
+    def test_bucket_index_is_pure_and_monotonic(self):
+        from repro.obs import bucket_index, bucket_upper_bound
+
+        values = [1e-9, 0.003, 0.1, 0.99, 1.0, 1.0000001, 7.5, 4096.0]
+        indices = [bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+        for v in values:
+            # Every value lies at or below its bucket's upper bound...
+            assert v <= bucket_upper_bound(bucket_index(v)) * (1 + 1e-12)
+            # ...and bucketing is deterministic.
+            assert bucket_index(v) == bucket_index(v)
+        assert bucket_upper_bound(bucket_index(0.0)) == 0.0
+        assert bucket_upper_bound(bucket_index(-3.0)) == 0.0
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        for v in (0.5, 0.5, 0.5):
+            h.observe(v)
+        # A single-bucket distribution: every quantile is the (clamped)
+        # observed value, not the bucket's (larger) upper bound.
+        assert h.quantile(0.5) == 0.5
+        assert h.quantile(0.99) == 0.5
+        assert h.quantile(0.5) >= h.min and h.quantile(0.99) <= h.max
+
+    def test_empty_histogram_quantile_is_none(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.quantile(0.5) is None
+        snap = h.snapshot()
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_merge_tolerates_pre_bucket_snapshots(self):
+        target = MetricsRegistry()
+        target.histogram("h").observe(1.0)
+        # A snapshot from an old build: summary only, no bucket map.
+        target.merge({"h": {
+            "kind": "histogram", "count": 2, "total": 6.0,
+            "min": 2.0, "max": 4.0, "mean": 3.0,
+        }})
+        h = target.histogram("h")
+        assert h.count == 3 and h.min == 1.0 and h.max == 4.0
+        assert h.quantile(0.99) == 4.0  # degrades to the extremes
+
+    def test_render_is_sorted_by_name_across_kinds(self):
+        registry = MetricsRegistry()
+        # Deliberately interleave creation order and kinds.
+        registry.histogram("z.lat").observe(1.0)
+        registry.counter("a.count").inc()
+        registry.gauge("m.level").set(2.0)
+        registry.counter("b.count").inc()
+        names = [line.split(":")[0] for line in registry.render().splitlines()]
+        assert names == sorted(names)
+        snap_names = list(registry.snapshot())
+        assert snap_names == sorted(snap_names)
+
+    def test_render_includes_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("a.lat").observe(0.25)
+        line = registry.render()
+        assert "p50=" in line and "p90=" in line and "p99=" in line
+
+
+class TestQuantileMergeExactness:
+    """Acceptance criterion: merged quantiles == single-registry quantiles."""
+
+    def _property(self, values, split_mask):
+        whole = MetricsRegistry()
+        parts = [MetricsRegistry(), MetricsRegistry()]
+        for value, which in zip(values, split_mask):
+            whole.histogram("h").observe(value)
+            parts[which].histogram("h").observe(value)
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge(part.snapshot())
+        left, right = merged.snapshot()["h"], whole.snapshot()["h"]
+        for key in ("count", "min", "max", "buckets", "p50", "p90", "p99"):
+            assert left[key] == right[key], key
+
+    def test_hypothesis_any_split_merges_exactly(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            st.lists(
+                st.floats(
+                    min_value=-1e6, max_value=1e9,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                min_size=1, max_size=40,
+            ),
+            st.randoms(use_true_random=False),
+        )
+        def run(values, rng):
+            mask = [rng.randint(0, 1) for _ in values]
+            self._property(values, mask)
+
+        run()
+
+    def test_three_way_worker_split(self):
+        values = [0.01 * (i + 1) for i in range(30)]
+        whole = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.histogram("eval.seconds").observe(v)
+            workers[i % 3].histogram("eval.seconds").observe(v)
+        merged = MetricsRegistry()
+        for worker in workers:
+            merged.merge(worker.snapshot())
+        for q in (0.5, 0.9, 0.99):
+            assert (
+                merged.histogram("eval.seconds").quantile(q)
+                == whole.histogram("eval.seconds").quantile(q)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Correlation ids and the span buffer
+# ---------------------------------------------------------------------------
+
+
+class TestCorrelation:
+    def test_correlation_scope_stamps_spans(self):
+        from repro.obs import correlation_scope, current_correlation
+
+        records = []
+        tracer = Tracer(records.append)
+        assert current_correlation() is None
+        with correlation_scope("job-7"):
+            assert current_correlation() == "job-7"
+            with tracer.span("work"):
+                pass
+        with tracer.span("outside"):
+            pass
+        assert records[0]["corr"] == "job-7"
+        assert "corr" not in records[1]
+        assert current_correlation() is None
+
+    def test_correlation_scopes_nest(self):
+        from repro.obs import correlation_scope, current_correlation
+
+        with correlation_scope("outer"):
+            with correlation_scope("inner"):
+                assert current_correlation() == "inner"
+            assert current_correlation() == "outer"
+
+    def test_relay_stamps_ambient_correlation(self):
+        from repro.obs import correlation_scope
+
+        records = []
+        tracer = Tracer(records.append)
+        worker = [
+            {"kind": "span", "id": "w.0", "parent": None, "name": "eval",
+             "dur": 0.1, "attrs": {}},
+            {"kind": "span", "id": "w.1", "parent": "w.0", "name": "train",
+             "dur": 0.05, "attrs": {}},
+        ]
+        with correlation_scope("job-3"):
+            tracer.relay(worker, parent_id="batch", root_attrs={"attempt": 2})
+        assert all(r["corr"] == "job-3" for r in records)
+        assert records[0]["parent"] == "batch"
+        assert records[0]["attrs"]["attempt"] == 2
+        assert records[1]["parent"] == "w.0"  # child link intact
+        # Relay never mutates the caller's originals.
+        assert "corr" not in worker[0]
+
+    def test_relay_preserves_existing_correlation(self):
+        from repro.obs import correlation_scope
+
+        records = []
+        tracer = Tracer(records.append)
+        with correlation_scope("new"):
+            tracer.relay([{"kind": "span", "id": "a", "parent": None,
+                           "name": "x", "dur": 0.0, "attrs": {}, "corr": "old"}])
+        assert records[0]["corr"] == "old"
+
+
+class TestSpanBuffer:
+    def test_buffer_filters_by_correlation(self):
+        from repro.obs import SpanBuffer, buffered_tracer, correlation_scope
+
+        buffer = SpanBuffer()
+        tracer = buffered_tracer(buffer)
+        with correlation_scope("a"):
+            with tracer.span("one"):
+                pass
+        with correlation_scope("b"):
+            with tracer.span("two"):
+                pass
+        assert len(buffer) == 2
+        assert [r["name"] for r in buffer.records(correlation="a")] == ["one"]
+        assert [r["name"] for r in buffer.records(correlation="b")] == ["two"]
+        buffer.clear()
+        assert buffer.records() == []
+
+    def test_buffer_is_bounded(self):
+        from repro.obs import SpanBuffer
+
+        buffer = SpanBuffer(maxlen=3)
+        for i in range(10):
+            buffer({"kind": "span", "id": str(i), "name": "s"})
+        records = buffer.records()
+        assert len(records) == 3
+        assert [r["id"] for r in records] == ["7", "8", "9"]
+
+    def test_buffered_tracer_tees_into_base(self):
+        from repro.obs import SpanBuffer, buffered_tracer
+
+        base_records = []
+        base = Tracer(base_records.append)
+        buffer = SpanBuffer()
+        tracer = buffered_tracer(buffer, base=base)
+        with tracer.span("teed"):
+            pass
+        assert [r["name"] for r in buffer.records()] == ["teed"]
+        assert [r["name"] for r in base_records] == ["teed"]
+
+
+class TestReportJobFilter:
+    def test_render_report_filters_by_job(self, tmp_path):
+        from repro.obs import correlation_scope
+
+        path = tmp_path / "jobs.jsonl"
+        tracer = file_tracer(path)
+        with tracer_scope(tracer):
+            with correlation_scope("job-a"):
+                with span("execute", kind="rank"):
+                    pass
+            with correlation_scope("job-b"):
+                with span("execute", kind="train"):
+                    pass
+        tracer.close()
+        text = render_report(path, job="job-a")
+        assert "1 spans for job job-a" in text
+        filtered = render_report(path, job="job-b")
+        assert "1 spans for job job-b" in filtered
+        everything = render_report(path)
+        assert "2 spans" in everything
+
+    def test_rollup_has_quantile_columns(self):
+        from repro.obs import render_rollup
+
+        spans_ = [_span_record(str(i), "eval", dur=0.1 * (i + 1)) for i in range(10)]
+        rollup = stage_rollup(spans_)
+        assert rollup["eval"].p50 == pytest.approx(0.5)
+        assert rollup["eval"].p99 == pytest.approx(1.0)
+        table = render_rollup(rollup)
+        assert "p50 s" in table and "p99 s" in table
+
+
+class TestLatencySummary:
+    def test_formats_histogram_and_snapshot_and_empty(self):
+        from repro.obs import latency_summary
+
+        registry = MetricsRegistry()
+        h = registry.histogram("h")
+        assert latency_summary(h) == "p50=- p99=-"
+        for v in (0.5, 0.5, 0.5):
+            h.observe(v)
+        live = latency_summary(h)
+        assert live.startswith("p50=0.5s") and "p99=0.5s" in live
+        assert latency_summary(h.snapshot()) == live
+        assert latency_summary(None) == "p50=- p99=-"
+
+
+# ---------------------------------------------------------------------------
+# Export surfaces: Prometheus text + dashboard HTML
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusExport:
+    def test_all_kinds_render_sorted_and_sanitized(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("m.lat.seconds").observe(0.2)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE a_level gauge" in text
+        assert "# TYPE m_lat_seconds histogram" in text
+        assert "# TYPE z_count counter" in text
+        # Sorted by metric name.
+        assert text.index("a_level") < text.index("m_lat_seconds") < text.index("z_count")
+        assert 'm_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "m_lat_seconds_count 1" in text
+        assert "m_lat_seconds_sum" in text
+
+    def test_bucket_series_is_cumulative(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            h.observe(v)
+        lines = [l for l in render_prometheus(registry.snapshot()).splitlines()
+                 if l.startswith("lat_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5  # +Inf bucket carries the total count
+
+    def test_name_sanitization(self):
+        from repro.obs import prometheus_name
+
+        assert prometheus_name("eval.seconds") == "eval_seconds"
+        assert prometheus_name("profile.forward.Conv2d.seconds") == (
+            "profile_forward_Conv2d_seconds"
+        )
+        assert prometheus_name("9lives") == "_9lives"
+
+
+class TestDashboard:
+    def test_dashboard_renders_all_sections(self):
+        from repro.obs import render_dashboard
+
+        registry = MetricsRegistry()
+        registry.histogram("service.rank.seconds").observe(0.05)
+        html = render_dashboard({
+            "title": "repro test",
+            "jobs": {"pending": 3, "running": 1, "done": 9},
+            "workers": [{"owner": "worker-ab", "job": "j1", "age": 0.4}],
+            "metrics": registry.snapshot(),
+            "cache": {"eval": "50% (1/2)"},
+            "traces": [{"name": "job", "corr": "j1", "dur": 1.25,
+                        "attrs": {"kind": "rank"}}],
+        })
+        assert html.startswith("<!doctype html>")
+        assert "queue depth 4" in html
+        assert "worker-ab" in html
+        assert "service.rank.seconds" in html
+        assert "50% (1/2)" in html
+        assert "j1" in html and "1.250s" in html
+
+    def test_dashboard_escapes_html(self):
+        from repro.obs import render_dashboard
+
+        html = render_dashboard({
+            "title": "<script>alert(1)</script>",
+            "traces": [{"name": "<b>x</b>", "dur": 0.0,
+                        "attrs": {"evil": "<img src=x>"}}],
+        })
+        assert "<script>alert" not in html
+        assert "<b>x</b>" not in html
+        assert "<img" not in html
+
+    def test_dashboard_empty_data_is_valid(self):
+        from repro.obs import render_dashboard
+
+        html = render_dashboard({})
+        assert "(none)" in html and "queue depth 0" in html

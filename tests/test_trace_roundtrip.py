@@ -175,6 +175,31 @@ class TestTraceReportCLI:
         assert "eval-batch" in tree  # the root survives
         assert "\n  " not in tree.strip("\n")  # children below depth 0 pruned
 
+    def test_report_rollup_prints_quantile_columns(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        _traced_run(path, 1)
+        assert cli_main(["trace", "report", str(path)]) == 0
+        rollup = capsys.readouterr().out.split("== per-stage rollup ==")[1]
+        header = rollup.splitlines()[1]
+        assert "p50 s" in header and "p99 s" in header
+
+    def test_report_job_filter(self, tmp_path, capsys):
+        from repro.obs import correlation_scope, file_tracer, tracer_scope
+
+        path = tmp_path / "service.jsonl"
+        tracer = file_tracer(path)
+        with tracer_scope(tracer):
+            for job in ("job-a", "job-b"):
+                with correlation_scope(job):
+                    with tracer.span("job", job=job):
+                        with tracer.span("eval", candidate=f"cand-{job}"):
+                            pass
+        tracer.close()
+        assert cli_main(["trace", "report", str(path), "--job", "job-a"]) == 0
+        out = capsys.readouterr().out
+        assert "for job job-a" in out
+        assert "cand-job-a" in out and "cand-job-b" not in out
+
     def test_report_renders_crashed_then_retried_pool_run(
         self, fault_env, tmp_path, capsys
     ):  # noqa: F811
